@@ -1,0 +1,39 @@
+# Convenience targets for the Terra reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-verbose:
+	$(PYTHON) -m pytest tests/ -v
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-shapes:  # the paper-shape assertions (who wins, by how much)
+	$(PYTHON) -m pytest benchmarks/ -p no:benchmark -q -k "shape or correctness or results or identical or agree"
+
+bench-full:
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+report:
+	$(PYTHON) benchmarks/report.py
+
+report-full:
+	$(PYTHON) benchmarks/report.py --full
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf /tmp/repro-terra-$$(id -u) .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

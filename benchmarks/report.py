@@ -1,0 +1,222 @@
+"""Regenerate every table/figure of the paper's evaluation in one run.
+
+    python benchmarks/report.py            # scaled-down sizes (~2 min)
+    python benchmarks/report.py --full     # paper-scale sizes
+
+Prints the same series the paper reports (Figure 6 GFLOPS, Figure 8
+schedule speedups in both compiler modes, the §6.2 inlining table, the
+§6.3.1 dispatch ratio, Figure 9 GB/s) — the data behind EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, ".")  # allow `python benchmarks/report.py` from repo root
+
+from repro import double, float_
+from repro.apps.areafilter import CAreaFilter, build_area_filter
+from repro.apps.dispatch import build_c_dispatch, build_terra_dispatch
+from repro.apps.fluid import (FluidParams, initial_conditions, make_c_fluid,
+                              make_orion_fluid)
+from repro.apps.mesh import build_mesh_kernels, random_mesh
+from repro.apps.pointwise import build_pipeline
+from repro.autotune.matmul import (blocked_matmul, make_gemm_packed,
+                                   naive_matmul)
+from repro.autotune.tuner import time_gemm
+from repro.backend.c.runtime import extra_cflags
+from repro.bench.harness import Table
+from repro.orion import lang as L
+
+NOVEC = ("-fno-tree-vectorize",)
+
+
+def best_of(fn, reps):
+    fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def fig6(full: bool) -> None:
+    N = 1024 if full else 512
+    dtype_rows = []
+    for elem, np_dtype, label, cfg in [
+            (double, np.float64, "DGEMM", dict(NB=128, RM=4, RN=2, V=4)),
+            (float_, np.float32, "SGEMM", dict(NB=64, RM=4, RN=2, V=8))]:
+        rng = np.random.RandomState(0)
+        A = np.ascontiguousarray(rng.rand(N, N).astype(np_dtype))
+        B = np.ascontiguousarray(rng.rand(N, N).astype(np_dtype))
+        C = np.zeros((N, N), dtype=np_dtype)
+        flops = 2.0 * N ** 3
+        tuned = time_gemm(make_gemm_packed(elem=elem, **cfg), N, elem, 3)
+        vendor = flops / best_of(lambda: np.dot(A, B, out=C), 3) / 1e9
+        rows = [("Terra (tuned)", tuned), ("vendor BLAS (numpy)", vendor)]
+        if elem is double:
+            rows.insert(0, ("blocked", time_gemm(blocked_matmul(64), N,
+                                                 elem, 1)))
+            naive_n = min(N, 512)  # same footprint class as the others
+            rows.insert(0, ("naive", time_gemm(naive_matmul(), naive_n,
+                                               elem, 1)))
+        else:
+            rows.insert(0, ("unvectorized kernel (V=1)",
+                            time_gemm(make_gemm_packed(NB=64, RM=4, RN=2,
+                                                       V=1, elem=elem),
+                                      N, elem, 1)))
+        dtype_rows.append((label, rows))
+    for label, rows in dtype_rows:
+        table = Table(f"Figure 6 — {label} at N={N} (GFLOPS)",
+                      ["series", "GFLOPS"])
+        for name, g in rows:
+            table.add(name, g)
+        table.show()
+
+
+def fig8_fluid(full: bool) -> None:
+    N = 1024 if full else 512
+    params = FluidParams(N)
+    u, v, d = initial_conditions(N)
+
+    def step_time(sim):
+        sim.set_state(u, v, d)
+        return best_of(sim.step, 3) * 1000
+
+    for mode, flags in [("default flags", ()), ("2013 emulation", NOVEC)]:
+        tc = step_time(make_c_fluid(params, flags=flags))
+        table = Table(f"Figure 8 (top) — fluid at {N}², {mode}",
+                      ["schedule", "ms/step", "speedup"])
+        table.add("reference C", tc, "1.00x")
+        for vec, lb, label in [(0, False, "matching Orion"),
+                               (4, False, "+ vectorization"),
+                               (4, True, "+ line buffering")]:
+            with extra_cflags(*flags):
+                sim = make_orion_fluid(params, vectorize=vec, linebuffer=lb)
+                t = step_time(sim)
+            table.add(label, t, f"{tc / t:.2f}x")
+        table.show()
+
+
+def fig8_area(full: bool) -> None:
+    N = 1024 if full else 512
+    img = np.random.RandomState(5).rand(N, N).astype(np.float32)
+
+    def orion_time(af):
+        src = af.pad(img)
+        out = af.alloc_out()
+        return best_of(lambda: af.fn(out, src), 10) * 1000
+
+    def c_time(caf):
+        src = caf.pad(img)
+        out = caf.alloc_out()
+        return best_of(lambda: caf(src, out), 10) * 1000
+
+    for mode, flags in [("default flags", ()), ("2013 emulation", NOVEC)]:
+        tc = c_time(CAreaFilter(N, flags=flags))
+        table = Table(f"Figure 8 (bottom) — area filter at {N}², {mode}",
+                      ["schedule", "ms", "speedup"])
+        table.add("reference C", tc, "1.00x")
+        for vec, lb, label in [(0, False, "matching Orion"),
+                               (8, False, "+ vectorization"),
+                               (8, True, "+ line buffering")]:
+            with extra_cflags(*flags):
+                t = orion_time(build_area_filter(N, vectorize=vec,
+                                                 linebuffer=lb))
+            table.add(label, t, f"{tc / t:.2f}x")
+        table.show()
+
+
+def pointwise(full: bool) -> None:
+    N = 2048 if full else 1024
+    img = np.random.RandomState(9).rand(N, N).astype(np.float32)
+
+    def t(policy, vec=0):
+        pipe = build_pipeline(N, policy=policy, vectorize=vec)
+        src = pipe.pad(img)
+        out = pipe.alloc_out()
+        return best_of(lambda: pipe.fn(out, src), 5) * 1000
+
+    base = t(L.MATERIALIZE)
+    table = Table(f"§6.2 point-wise pipeline at {N}² (paper: inline 3.8x)",
+                  ["schedule", "ms/frame", "speedup"])
+    for label, ms in [("materialize every stage", base),
+                      ("line-buffer intermediates", t(L.LINEBUFFER)),
+                      ("inline everything", t(L.INLINE)),
+                      ("inline + 8-wide vectors", t(L.INLINE, 8))]:
+        table.add(label, ms, f"{base / ms:.2f}x")
+    table.show()
+
+
+def dispatch() -> None:
+    ITERS = 5_000_000
+    tk = build_terra_dispatch()
+    ck = build_c_dispatch()
+    obj = tk.make(1.0001, 0.5)
+    cobj = ck.c_make(1.0001, 0.5)
+    rows = [
+        ("Terra class system (virtual)",
+         best_of(lambda: tk.loop_virtual(obj, ITERS), 5)),
+        ("C vtable (what C++ compiles to)",
+         best_of(lambda: ck.c_loop_virtual(cobj, ITERS), 5)),
+        ("Terra direct call", best_of(lambda: tk.loop_direct(obj, ITERS), 5)),
+        ("C direct call", best_of(lambda: ck.c_loop_direct(cobj, ITERS), 5)),
+    ]
+    table = Table("§6.3.1 dispatch micro-benchmark (paper: within 1%)",
+                  ["variant", "ns/call"])
+    for label, secs in rows:
+        table.add(label, secs / ITERS * 1e9)
+    table.show()
+    tk.free(obj)
+    ck.c_release(cobj)
+
+
+def fig9(full: bool) -> None:
+    nverts = 400_000 if full else 200_000
+    ntris = nverts * 2
+    positions, tris = random_mesh(nverts, ntris)
+    flat_pos = np.ascontiguousarray(positions.reshape(-1))
+    flat_tris = np.ascontiguousarray(tris.reshape(-1))
+    table = Table(f"Figure 9 — data layout, {nverts} verts / {ntris} tris "
+                  f"(GB/s, higher better; AoSoA is our extension)",
+                  ["layout", "calc normals", "translate"])
+    with extra_cflags("-fstrict-aliasing"):
+        for layout in ("AoS", "SoA", "AoSoA"):
+            k = build_mesh_kernels(layout)
+            t = k.alloc(nverts)
+            k.fill(t, flat_pos, nverts)
+            tn = best_of(lambda: k.calc_normals(t, flat_tris, ntris), 3)
+            tt = best_of(lambda: k.translate(t, 0.1, 0.1, 0.1, nverts), 10)
+            table.add(layout, ntris * 108 / tn / 1e9, nverts * 24 / tt / 1e9)
+            k.release(t)
+    table.show()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sizes")
+    parser.add_argument("--only", choices=["fig6", "fluid", "area",
+                                           "pointwise", "dispatch", "fig9"],
+                        help="run a single experiment")
+    args = parser.parse_args()
+    todo = {
+        "fig6": lambda: fig6(args.full),
+        "fluid": lambda: fig8_fluid(args.full),
+        "area": lambda: fig8_area(args.full),
+        "pointwise": lambda: pointwise(args.full),
+        "dispatch": dispatch,
+        "fig9": lambda: fig9(args.full),
+    }
+    if args.only:
+        todo[args.only]()
+        return
+    for fn in todo.values():
+        fn()
+
+
+if __name__ == "__main__":
+    main()

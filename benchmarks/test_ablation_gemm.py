@@ -1,0 +1,79 @@
+"""Ablations over the staged GEMM's design parameters.
+
+DESIGN.md calls out the three staged optimizations of §6.1 — register
+blocking, vectorization, prefetching — plus cache blocking depth.  These
+sweeps isolate each one, the experiments an auto-tuner's search space is
+built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro import double
+from repro.autotune.matmul import make_gemm
+
+from conftest import full_scale
+
+N = 512 if full_scale() else 256
+
+
+def _matrices(dtype=np.float64):
+    rng = np.random.RandomState(1)
+    A = np.ascontiguousarray(rng.rand(N, N).astype(dtype))
+    B = np.ascontiguousarray(rng.rand(N, N).astype(dtype))
+    C = np.zeros((N, N), dtype=dtype)
+    return A, B, C
+
+
+@pytest.mark.parametrize("RM,RN", [(1, 1), (2, 1), (2, 2), (4, 2), (8, 2)])
+def test_register_blocking(benchmark, RM, RN):
+    """Register blocking sweep at fixed NB=32, V=4."""
+    gemm = make_gemm(NB=32, RM=RM, RN=RN, V=4)
+    A, B, C = _matrices()
+    gemm(C, A, B, N)
+    assert np.allclose(C, A @ B)
+    benchmark(lambda: gemm(C, A, B, N))
+
+
+@pytest.mark.parametrize("V", [1, 2, 4])
+def test_vector_width(benchmark, V):
+    """Vector width sweep at fixed blocking."""
+    gemm = make_gemm(NB=32, RM=4, RN=2, V=V)
+    A, B, C = _matrices()
+    gemm(C, A, B, N)
+    assert np.allclose(C, A @ B)
+    benchmark(lambda: gemm(C, A, B, N))
+
+
+@pytest.mark.parametrize("NB", [16, 32, 64, 128])
+def test_cache_block_size(benchmark, NB):
+    """L1 block-size sweep at fixed register blocking."""
+    gemm = make_gemm(NB=NB, RM=4, RN=2, V=4)
+    A, B, C = _matrices()
+    gemm(C, A, B, N)
+    assert np.allclose(C, A @ B)
+    benchmark(lambda: gemm(C, A, B, N))
+
+
+@pytest.mark.parametrize("prefetch", [True, False])
+def test_prefetch(benchmark, prefetch):
+    """The §6.1 prefetch intrinsic, on vs off."""
+    gemm = make_gemm(NB=32, RM=4, RN=2, V=4, use_prefetch=prefetch)
+    A, B, C = _matrices()
+    gemm(C, A, B, N)
+    assert np.allclose(C, A @ B)
+    benchmark(lambda: gemm(C, A, B, N))
+
+
+@pytest.mark.parametrize("packed", [False, True], ids=["inplace", "packed"])
+def test_panel_packing(benchmark, packed):
+    """ATLAS-style panel packing vs multiplying in place (the data-copy
+    optimization the paper's comparison target relies on)."""
+    from repro.autotune.matmul import make_gemm, make_gemm_packed
+    maker = make_gemm_packed if packed else make_gemm
+    NB = 128 if packed else 64
+    gemm = maker(NB=NB, RM=4, RN=2, V=4)
+    A, B, C = _matrices()
+    gemm(C, A, B, N)
+    assert np.allclose(C, A @ B)
+    benchmark(lambda: gemm(C, A, B, N))

@@ -1,0 +1,100 @@
+"""Ablation: staged monomorphic sort vs libc's generic qsort.
+
+Staging eliminates qsort's per-comparison indirect call and byte-copying
+— the same "generative beats generic" argument as the paper's §6.1, on a
+different kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.cbaseline import compile_c
+from repro.core import types as T
+from repro.lib.sort import Sort
+
+from conftest import full_scale
+
+N = 1_000_000 if full_scale() else 200_000
+
+_QSORT_C = r"""
+#include <stdlib.h>
+
+static int cmp_double(const void *a, const void *b) {
+    double x = *(const double *)a, y = *(const double *)b;
+    return (x > y) - (x < y);
+}
+
+void qsort_double(double *data, long n) {
+    qsort(data, n, sizeof(double), cmp_double);
+}
+
+static int cmp_int(const void *a, const void *b) {
+    int x = *(const int *)a, y = *(const int *)b;
+    return (x > y) - (x < y);
+}
+
+void qsort_int(int *data, long n) {
+    qsort(data, n, sizeof(int), cmp_int);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def libc_sorts():
+    return compile_c(_QSORT_C, {
+        "qsort_double": (["ptr", "long"], "void"),
+        "qsort_int": (["ptr", "long"], "void"),
+    })
+
+
+@pytest.fixture(scope="module")
+def doubles():
+    return np.random.RandomState(0).randn(N)
+
+
+def test_staged_sort_doubles(benchmark, doubles):
+    sort = Sort(T.float64)
+    expected = np.sort(doubles)
+
+    def run():
+        data = doubles.copy()
+        sort(data, N)
+        return data
+
+    result = benchmark(run)
+    assert np.array_equal(result, expected)
+
+
+def test_libc_qsort_doubles(benchmark, doubles, libc_sorts):
+    expected = np.sort(doubles)
+
+    def run():
+        data = doubles.copy()
+        libc_sorts.qsort_double(data, N)
+        return data
+
+    result = benchmark(run)
+    assert np.array_equal(result, expected)
+
+
+def test_numpy_sort_doubles(benchmark, doubles):
+    benchmark(lambda: np.sort(doubles))
+
+
+def test_shape_staged_beats_generic(doubles, libc_sorts):
+    """The staged sort must beat generic qsort (paper-spirit assertion)."""
+    import time
+    sort = Sort(T.float64)
+
+    def best(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            data = doubles.copy()
+            t0 = time.perf_counter()
+            fn(data)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_staged = best(lambda d: sort(d, N))
+    t_qsort = best(lambda d: libc_sorts.qsort_double(d, N))
+    assert t_staged < t_qsort, (t_staged, t_qsort)

@@ -1,0 +1,101 @@
+"""Figure 8 (bottom) — separable 5×5 area filter speedups.
+
+Paper rows (1024x1024 float pixels):
+    Reference C      1x   (4.4 ms)
+    Matching Orion   1.1x (4.1 ms)
+    + Vectorization  2.8x (1.6 ms)
+    + Line buffering 3.4x (1.3 ms)
+
+As with the fluid benchmark, ``emulate2013`` variants compile scalar code
+with ``-fno-tree-vectorize`` to reproduce the 2013 baseline shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.areafilter import (CAreaFilter, build_area_filter,
+                                   reference_numpy)
+from repro.backend.c.runtime import extra_cflags
+
+from conftest import full_scale
+
+N = 1024 if full_scale() else 512
+NOVEC = ("-fno-tree-vectorize",)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return np.random.RandomState(5).rand(N, N).astype(np.float32)
+
+
+def _bench_orion(benchmark, af, image):
+    src = af.pad(image)
+    out = af.alloc_out()
+    af.fn(out, src)
+    benchmark(lambda: af.fn(out, src))
+
+
+def test_reference_c(benchmark, image):
+    caf = CAreaFilter(N)
+    src = caf.pad(image)
+    out = caf.alloc_out()
+    caf(src, out)
+    benchmark(lambda: caf(src, out))
+
+
+def test_orion_matching(benchmark, image):
+    _bench_orion(benchmark, build_area_filter(N), image)
+
+
+def test_orion_vectorized(benchmark, image):
+    _bench_orion(benchmark, build_area_filter(N, vectorize=4), image)
+
+
+def test_orion_vectorized_linebuffered(benchmark, image):
+    _bench_orion(benchmark,
+                 build_area_filter(N, vectorize=4, linebuffer=True), image)
+
+
+def test_emulate2013_reference_c(benchmark, image):
+    caf = CAreaFilter(N, flags=NOVEC)
+    src = caf.pad(image)
+    out = caf.alloc_out()
+    caf(src, out)
+    benchmark(lambda: caf(src, out))
+
+
+def test_emulate2013_orion_matching(benchmark, image):
+    with extra_cflags(*NOVEC):
+        af = build_area_filter(N)
+        src = af.pad(image)
+        out = af.alloc_out()
+        af.fn(out, src)
+    benchmark(lambda: af.fn(out, src))
+
+
+def test_emulate2013_orion_vectorized(benchmark, image):
+    with extra_cflags(*NOVEC):
+        af = build_area_filter(N, vectorize=8)
+        src = af.pad(image)
+        out = af.alloc_out()
+        af.fn(out, src)
+    benchmark(lambda: af.fn(out, src))
+
+
+def test_emulate2013_orion_vec_linebuffered(benchmark, image):
+    with extra_cflags(*NOVEC):
+        af = build_area_filter(N, vectorize=8, linebuffer=True)
+        src = af.pad(image)
+        out = af.alloc_out()
+        af.fn(out, src)
+    benchmark(lambda: af.fn(out, src))
+
+
+def test_correctness_all_schedules(image):
+    ref = reference_numpy(image)
+    caf = CAreaFilter(N)
+    assert np.allclose(caf.run(image), ref, atol=1e-4)
+    for vec in (0, 4, 8):
+        for lb in (False, True):
+            af = build_area_filter(N, vectorize=vec, linebuffer=lb)
+            assert np.allclose(af.run(image), ref, atol=1e-4), (vec, lb)

@@ -1,0 +1,64 @@
+"""Auto-tuned matrix multiply — the paper's Section 6.1 experiment.
+
+Searches over (NB, RM, RN, V, prefetch) configurations of the staged
+Figure-5 kernel, JIT-compiling and timing each, then compares the winner
+against the naive loop, a plain cache-blocked loop, and the vendor BLAS
+behind numpy (the ATLAS/MKL stand-in).
+
+Run:  python examples/autotune_gemm.py [test_size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import double
+from repro.autotune.matmul import blocked_matmul, naive_matmul
+from repro.autotune.tuner import candidates, time_gemm, tune
+from repro.bench.harness import Table
+
+test_size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+
+print(f"tuning DGEMM on a {test_size}x{test_size} test multiply...")
+cands = candidates(double, NBs=(32, 48, 64), RMs=(2, 4), RNs=(1, 2),
+                   Vs=(2, 4), prefetch_options=(True, False))
+result = tune(test_size=test_size, candidate_list=cands, repeats=2,
+              verbose=True)
+print(f"\nbest configuration: {result.best}  ({result.gflops:.2f} GFLOPS)")
+
+# -- compare against the baselines (Figure 6's series) ----------------------------
+
+N = test_size
+rng = np.random.RandomState(0)
+A = np.ascontiguousarray(rng.rand(N, N))
+B = np.ascontiguousarray(rng.rand(N, N))
+C = np.zeros((N, N))
+
+flops = 2.0 * N ** 3
+
+def gflops_of(fn, reps=3):
+    fn()
+    best = min(_timed(fn) for _ in range(reps))
+    return flops / best / 1e9
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+table = Table(f"DGEMM at N={N} (paper Figure 6a)",
+              ["series", "GFLOPS", "vs tuned"])
+tuned = result.gflops
+naive = gflops_of(lambda: naive_matmul()(C, A, B, N), reps=1)
+blocked = gflops_of(lambda: blocked_matmul(64)(C, A, B, N))
+vendor = gflops_of(lambda: np.dot(A, B, out=C))
+for label, g in [("naive", naive), ("blocked", blocked),
+                 ("Terra (tuned)", tuned), ("vendor BLAS (numpy)", vendor)]:
+    table.add(label, g, f"{g / tuned:.2f}x")
+table.show()
+
+check = np.zeros((N, N))
+result.gemm(check, A, B, N)
+assert np.allclose(check, A @ B), "tuned kernel produced a wrong result!"
+print("\nresult verified against numpy.")

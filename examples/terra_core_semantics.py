@@ -1,0 +1,85 @@
+"""Terra Core — running the paper's Section 3/4.1 formal-semantics
+examples on the executable calculus.
+
+Each snippet below is a term of the core calculus (Lua Core staging Terra
+Core), evaluated by the big-step machine in repro.corecalc.  The printed
+results are exactly the values the paper's prose derives.
+
+Run:  python examples/terra_core_semantics.py
+"""
+
+from repro.corecalc import machine as M
+from repro.corecalc import terms as t
+
+B = t.B
+
+
+def lint(v):
+    return t.LBase(v)
+
+
+def ter(target, param, body):
+    return t.LTDefn(target, param, t.LType(B), t.LType(B), body)
+
+
+# 1. eager specialization (paper §4.1) --------------------------------------------
+#    let x1 = 0 in
+#    let y = ter tdecl(x2 : int) : int { x1 } in
+#    x1 := 1; y(0)
+prog = t.LLet(
+    "x1", lint(0),
+    t.LLet("y", ter(t.LTDecl(), "x2", t.TVar("x1")),
+           t.seq(t.LAssign("x1", lint(1)),
+                 t.LApp(t.LVar("y"), lint(0)))))
+value, _ = M.run(prog)
+print("eager specialization:  y(0) =", value,
+      " (the paper: 'the statement y(0) will evaluate to 0')")
+
+# 2. separate evaluation (paper §4.1) -----------------------------------------------
+#    let x1 = 1 in let y = ter tdecl(x2:int):int { x1 } in x1 := 2; y(0)
+prog = t.LLet(
+    "x1", lint(1),
+    t.LLet("y", ter(t.LTDecl(), "x2", t.TVar("x1")),
+           t.seq(t.LAssign("x1", lint(2)),
+                 t.LApp(t.LVar("y"), lint(0)))))
+value, _ = M.run(prog)
+print("separate evaluation:   y(0) =", value,
+      " (the function call 'will evaluate to the value 1, despite x1 "
+      "being re-assigned to 2')")
+
+# 3. hygiene (paper §4.1) --------------------------------------------------------------
+#    let x1 = fun(x2){ 'tlet y : int = 0 in [x2] } in
+#    let x3 = ter tdecl(y : int) : int { [x1(y)] } in x3(42)
+prog = t.LLet(
+    "x1", t.LFun("x2", t.LQuote(
+        t.TLet("y", t.LType(B), t.TBase(0), t.TEscape(t.LVar("x2"))))),
+    t.LLet("x3", ter(t.LTDecl(), "y",
+                     t.TEscape(t.LApp(t.LVar("x1"), t.LVar("y")))),
+           t.LApp(t.LVar("x3"), lint(42))))
+value, state = M.run(prog)
+print("hygiene:               x3(42) =", value,
+      " (without renaming, the tlet would capture y and return 0)")
+fdef = next(d for d in state.functions.values() if d is not None)
+print("                       specialized body:", fdef.body)
+
+# 4. type reflection (paper §4.1) ---------------------------------------------------
+#    let x3 = fun(x1){ ter tdecl(x2 : x1) : x1 { x2 } } in x3(int)(1)
+prog = t.LLet(
+    "x3", t.LFun("x1", t.LTDefn(t.LTDecl(), "x2", t.LVar("x1"),
+                                t.LVar("x1"), t.TVar("x2"))),
+    t.LApp(t.LApp(t.LVar("x3"), t.LType(B)), lint(1)))
+value, _ = M.run(prog)
+print("type reflection:       x3(B)(1) =", value,
+      " (a Lua function generating a Terra identity function per type)")
+
+# 5. mutual recursion via declare-then-define (paper §4.1) ----------------------------
+prog = t.LLet(
+    "x2", t.LTDecl(),
+    t.LLet("x1", ter(t.LTDecl(), "y", t.TApp(t.TVar("x2"), t.TVar("y"))),
+           t.seq(ter(t.LVar("x2"), "y", t.TApp(t.TVar("x1"), t.TVar("y"))),
+                 lint(0))))
+_, state = M.run(prog)
+for addr in list(state.functions):
+    ftype = M.typecheck_function(addr, state)
+    print(f"mutual recursion:      l{addr} typechecks at {ftype} "
+          f"(connected-component rule, Fig. 4)")

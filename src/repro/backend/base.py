@@ -1,0 +1,95 @@
+"""Backend interface and registry.
+
+Two backends reproduce Terra's LLVM JIT:
+
+* ``"c"`` — emits C, compiles with the system gcc at ``-O3 -march=native``,
+  loads the shared object with ctypes.  This is the performance path.
+* ``"interp"`` — a reference interpreter over the typed IR with a checked
+  flat-memory substrate.  Used for differential testing and on hosts
+  without a C compiler.
+
+The default backend is ``"c"`` when a C compiler is present, else
+``"interp"``; override with :func:`set_default_backend` or the
+``REPRO_TERRA_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Optional
+
+from ..errors import CompileError
+
+
+class Backend:
+    """Interface implemented by both execution backends."""
+
+    name: str = "abstract"
+
+    def compile_unit(self, fn, component):
+        """Compile ``fn``'s connected ``component`` (a list of
+        TerraFunctions, fn first) and return a Python-callable handle for
+        ``fn``."""
+        raise NotImplementedError
+
+    # -- globals ------------------------------------------------------------
+    def materialize_global(self, glob):
+        raise NotImplementedError
+
+    def read_global(self, glob):
+        raise NotImplementedError
+
+    def write_global(self, glob, value):
+        raise NotImplementedError
+
+
+_backends: dict[str, Backend] = {}
+_default_name: Optional[str] = None
+
+
+def _cc_available() -> bool:
+    return shutil.which("gcc") is not None or shutil.which("cc") is not None
+
+
+def get_backend(name: str) -> Backend:
+    backend = _backends.get(name)
+    if backend is None:
+        if name == "c":
+            from .c.runtime import CBackend
+            backend = CBackend()
+        elif name == "interp":
+            from .interp.machine import InterpBackend
+            backend = InterpBackend()
+        else:
+            raise CompileError(f"unknown backend {name!r} "
+                               f"(available: 'c', 'interp')")
+        _backends[name] = backend
+    return backend
+
+
+def default_backend() -> Backend:
+    global _default_name
+    if _default_name is None:
+        env = os.environ.get("REPRO_TERRA_BACKEND")
+        if env:
+            _default_name = env
+        else:
+            _default_name = "c" if _cc_available() else "interp"
+    return get_backend(_default_name)
+
+
+def set_default_backend(name: str) -> None:
+    global _default_name
+    get_backend(name)  # validate
+    _default_name = name
+
+
+def resolve_backend(backend) -> Backend:
+    if backend is None:
+        return default_backend()
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise CompileError(f"not a backend: {backend!r}")

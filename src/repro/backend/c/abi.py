@@ -1,0 +1,95 @@
+"""ctypes ABI construction for compiled Terra functions.
+
+Maps Terra types onto ctypes so that compiled functions can be called from
+Python: primitives map directly, pointers are passed as 64-bit addresses,
+and aggregates passed/returned by value get mirrored ctypes.Structure
+classes whose layout matches :mod:`repro.core.types` (natural alignment).
+
+Vector types never cross the Python boundary (raise FFIError); they exist
+only inside compiled code.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+from ...core import types as T
+from ...errors import FFIError
+
+_PRIM_CTYPES = {
+    "int8": ctypes.c_int8, "int16": ctypes.c_int16,
+    "int32": ctypes.c_int32, "int64": ctypes.c_int64,
+    "uint8": ctypes.c_uint8, "uint16": ctypes.c_uint16,
+    "uint32": ctypes.c_uint32, "uint64": ctypes.c_uint64,
+    "float": ctypes.c_float, "double": ctypes.c_double,
+    "bool": ctypes.c_uint8,
+}
+
+_struct_cache: dict[int, type] = {}
+
+
+def ctype_for(ty: T.Type):
+    """The ctypes type for a Terra type (for args/returns by value)."""
+    if isinstance(ty, T.PrimitiveType):
+        return _PRIM_CTYPES[ty.name]
+    if ty.ispointer():
+        return ctypes.c_uint64
+    if isinstance(ty, T.TupleType) and ty.isunit():
+        return None
+    if isinstance(ty, T.VectorType):
+        raise FFIError(
+            f"vector type {ty} cannot cross the Python<->Terra boundary; "
+            f"pass a pointer instead")
+    if isinstance(ty, T.StructType):
+        return _struct_ctype(ty)
+    if isinstance(ty, T.ArrayType):
+        return _array_ctype(ty)
+    raise FFIError(f"no ctypes mapping for {ty}")
+
+
+def _struct_ctype(ty: T.StructType):
+    cached = _struct_cache.get(id(ty))
+    if cached is not None:
+        return cached
+    ty.complete()
+    fields = []
+    anonymous = []
+    i = 0
+    entries = ty.entries
+    while i < len(entries):
+        entry = entries[i]
+        if entry.union_group is None:
+            fields.append((f"f_{entry.field}", ctype_for(entry.type)))
+            i += 1
+            continue
+        group = entry.union_group
+        members = []
+        while i < len(entries) and entries[i].union_group == group:
+            members.append((f"f_{entries[i].field}",
+                            ctype_for(entries[i].type)))
+            i += 1
+        ucls = type(f"CTU_{ty.name}_{group}", (ctypes.Union,),
+                    {"_fields_": members})
+        uname = f"u_{group}"
+        fields.append((uname, ucls))
+        anonymous.append(uname)
+    if not fields:
+        fields = [("f__empty", ctypes.c_uint8 * 0)]
+    cls = type(f"CT_{ty.name}", (ctypes.Structure,),
+               {"_fields_": fields, "_anonymous_": tuple(anonymous)})
+    if ctypes.sizeof(cls) != ty.sizeof():
+        raise FFIError(
+            f"ctypes layout mismatch for {ty}: ctypes says "
+            f"{ctypes.sizeof(cls)}, Terra says {ty.sizeof()}")
+    _struct_cache[id(ty)] = cls
+    return cls
+
+
+def _array_ctype(ty: T.ArrayType):
+    cached = _struct_cache.get(id(ty))
+    if cached is not None:
+        return cached
+    cls = type(f"CTA_{ty.count}", (ctypes.Structure,),
+               {"_fields_": [("data", ctype_for(ty.elem) * ty.count)]})
+    _struct_cache[id(ty)] = cls
+    return cls

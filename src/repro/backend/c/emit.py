@@ -1,0 +1,684 @@
+"""Typed Terra IR → C source.
+
+The analog of Terra's LLVM code generator: each compilation unit is one
+connected component of functions, emitted as a self-contained C translation
+unit and built by gcc at ``-O3 -march=native``.
+
+Lowering notes:
+
+* Terra vectors → GCC vector extensions (``__attribute__((vector_size))``),
+  the same SIMD model Terra gets from LLVM's vector types;
+* ``prefetch`` → ``__builtin_prefetch`` (the paper's §6.1 kernel relies on
+  this); hint arguments must be compile-time constants, as in C;
+* statement-quotes spliced into expressions (``TLetIn``) → GCC statement
+  expressions;
+* Terra arrays are value types, so ``T[N]`` becomes a one-field wrapper
+  struct (arrays then copy/pass/return by value exactly like Terra);
+* cross-unit references never happen: the linker hands every backend the
+  whole connected component, and globals/callbacks are referenced through
+  absolute addresses materialized by the runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ...core import tast
+from ...core import types as T
+from ...errors import CompileError
+
+_unit_ids = itertools.count(1)
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)
+
+
+class CEmitter:
+    def __init__(self, component, backend, freestanding: bool = False):
+        """``component`` is a list of TerraFunctions (typechecked, the
+        entry function first); ``backend`` provides addresses for globals
+        and Python callbacks.
+
+        ``freestanding`` emission (saveobj) must not reference the Python
+        process: Terra globals become real C globals in the unit, and
+        Python callbacks are rejected."""
+        self.component = component
+        self.backend = backend
+        self.freestanding = freestanding
+        self._global_names: dict[int, str] = {}
+        self._global_list: list = []
+        self.lines: list[str] = []
+        self.indent = 0
+        self._tmp = itertools.count(1)
+        self._struct_names: dict[int, str] = {}
+        self._struct_list: list[T.StructType] = []
+        self._array_names: dict[int, str] = {}
+        self._array_list: list[T.ArrayType] = []
+        self._vector_names: dict[int, str] = {}
+        self._vector_list: list[T.VectorType] = []
+        self.fn_names: dict[int, str] = {}
+
+    # ==================================================================
+    # naming / type spelling
+    # ==================================================================
+    def fn_name(self, fn) -> str:
+        if fn.is_external:
+            return fn.external_name
+        name = self.fn_names.get(fn.uid)
+        if name is None:
+            name = f"tfn{fn.uid}_{_sanitize(fn.name)}"
+            self.fn_names[fn.uid] = name
+        return name
+
+    def ctype(self, ty: T.Type) -> str:
+        """The C spelling of a Terra type (usable in casts and decls)."""
+        if isinstance(ty, T.PrimitiveType):
+            if ty.islogical():
+                return "uint8_t"
+            if ty.isfloat():
+                return "float" if ty is T.float32 else "double"
+            return f"{'' if ty.signed else 'u'}int{ty.bytes * 8}_t"
+        if isinstance(ty, T.TupleType) and ty.isunit():
+            return "void"
+        if isinstance(ty, T.PointerType):
+            if isinstance(ty.pointee, T.FunctionType):
+                return self._fnptr_type(ty.pointee, "")
+            if isinstance(ty.pointee, T.OpaqueType):
+                return "void *"
+            return f"{self.ctype(ty.pointee)} *"
+        if isinstance(ty, T.StructType):
+            return self._struct_name(ty)
+        if isinstance(ty, T.ArrayType):
+            return self._array_name(ty)
+        if isinstance(ty, T.VectorType):
+            return self._vector_name(ty)
+        if isinstance(ty, T.OpaqueType):
+            return "void"
+        raise CompileError(f"cannot emit C type for {ty}")
+
+    def _fnptr_type(self, ftype: T.FunctionType, name: str) -> str:
+        ret = self.ctype(ftype.returntype)
+        params = ", ".join(self.ctype(p) for p in ftype.parameters)
+        if ftype.varargs:
+            params = f"{params}, ..." if params else "..."
+        elif not params:
+            params = "void"
+        return f"{ret} (*{name})({params})"
+
+    def _struct_name(self, ty: T.StructType) -> str:
+        name = self._struct_names.get(id(ty))
+        if name is None:
+            ty.complete()
+            ty.layout()
+            name = f"ts{len(self._struct_names)}_{_sanitize(ty.name)}"
+            self._struct_names[id(ty)] = name
+            self._struct_list.append(ty)
+            for entry in ty.entries:
+                self._register(entry.type)
+        return name
+
+    def _array_name(self, ty: T.ArrayType) -> str:
+        name = self._array_names.get(id(ty))
+        if name is None:
+            name = f"ta{len(self._array_names)}"
+            self._array_names[id(ty)] = name
+            self._array_list.append(ty)
+            self._register(ty.elem)
+        return name
+
+    def _vector_name(self, ty: T.VectorType) -> str:
+        name = self._vector_names.get(id(ty))
+        if name is None:
+            name = f"tv{len(self._vector_names)}_{self.ctype(ty.elem).rstrip('_t')}"
+            name = _sanitize(name)
+            self._vector_names[id(ty)] = name
+            self._vector_list.append(ty)
+        return name
+
+    def _register(self, ty: T.Type) -> None:
+        """Make sure a type (and its dependencies) get typedefs."""
+        self.ctype(ty)
+
+    # ==================================================================
+    # unit emission
+    # ==================================================================
+    def emit_unit(self) -> str:
+        # pass 1: register every type reachable from the component
+        for fn in self.component:
+            self.fn_name(fn)
+            ftype = fn.gettype() if fn.is_external else fn.typed.type
+            for p in ftype.parameters:
+                self._register(p)
+            self._register(ftype.returntype)
+            if not fn.is_external:
+                for node in tast.walk(fn.typed.body):
+                    ty = getattr(node, "type", None)
+                    if isinstance(ty, T.Type) and not isinstance(ty, T.FunctionType):
+                        self._register(ty)
+                    if isinstance(node, tast.TVarDecl):
+                        for t in node.types:
+                            self._register(t)
+        # pass 2: emit bodies into a scratch buffer (may register more
+        # types through casts spelled inside expressions)
+        body_lines: list[str] = []
+        for fn in self.component:
+            if fn.is_external:
+                continue
+            saved = self.lines
+            self.lines = body_lines
+            self._emit_function(fn)
+            self.lines = saved
+        # pass 3: assemble the final translation unit
+        out: list[str] = [
+            "#include <stdint.h>",
+            "#include <stddef.h>",
+            "",
+        ]
+        out.extend(self._emit_typedefs())
+        out.append("")
+        out.extend(self._emit_freestanding_globals())
+        for fn in self.component:
+            out.append(self._prototype(fn) + ";")
+        out.append("")
+        out.extend(body_lines)
+        return "\n".join(out) + "\n"
+
+    def _emit_typedefs(self) -> list[str]:
+        out: list[str] = []
+        for ty in self._vector_list:
+            size = ty.sizeof()
+            align = ty.alignof()
+            out.append(
+                f"typedef {self.ctype(ty.elem)} {self._vector_names[id(ty)]} "
+                f"__attribute__((vector_size({size}), aligned({align})));")
+        # forward declarations so pointer fields can be spelled
+        for ty in self._struct_list:
+            name = self._struct_names[id(ty)]
+            out.append(f"typedef struct {name} {name};")
+        for ty in self._array_list:
+            name = self._array_names[id(ty)]
+            out.append(f"typedef struct {name} {name};")
+        # definitions, topologically sorted on by-value dependencies
+        emitted: set[int] = set()
+        aggregates = list(self._struct_list) + list(self._array_list)
+
+        def emit_aggregate(ty):
+            if id(ty) in emitted:
+                return
+            emitted.add(id(ty))
+            deps = []
+            if isinstance(ty, T.StructType):
+                deps = [e.type for e in ty.entries]
+            elif isinstance(ty, T.ArrayType):
+                deps = [ty.elem]
+            for dep in deps:
+                if isinstance(dep, (T.StructType, T.ArrayType)):
+                    emit_aggregate(dep)
+            if isinstance(ty, T.StructType):
+                name = self._struct_names[id(ty)]
+                parts: list[str] = []
+                i = 0
+                entries = ty.entries
+                while i < len(entries):
+                    e = entries[i]
+                    if e.union_group is None:
+                        parts.append(
+                            f" {self._field_decl(e.type, _sanitize(e.field))};")
+                        i += 1
+                        continue
+                    group = e.union_group
+                    members = []
+                    while i < len(entries) and entries[i].union_group == group:
+                        members.append(
+                            f" {self._field_decl(entries[i].type, _sanitize(entries[i].field))};")
+                        i += 1
+                    parts.append(f" union {{{''.join(members)} }};")
+                fields = "".join(parts)
+                if not ty.entries:
+                    fields = " char _empty;"  # C forbids empty structs
+                out.append(f"struct {name} {{{fields} }};")
+            else:
+                name = self._array_names[id(ty)]
+                count = max(ty.count, 1)
+                out.append(f"struct {name} {{ "
+                           f"{self._field_decl(ty.elem, 'data', count)}; }};")
+
+        # aggregates can grow while we iterate (nested registrations)
+        i = 0
+        while i < len(aggregates):
+            emit_aggregate(aggregates[i])
+            i += 1
+            aggregates = list(self._struct_list) + list(self._array_list)
+        return out
+
+    def _freestanding_global(self, glob) -> str:
+        name = self._global_names.get(glob.uid)
+        if name is None:
+            name = f"tg{glob.uid}_{_sanitize(glob.name)}"
+            self._global_names[glob.uid] = name
+            self._global_list.append(glob)
+            self._register(glob.type)
+        return name
+
+    def _emit_freestanding_globals(self) -> list[str]:
+        out: list[str] = []
+        for glob in self._global_list:
+            name = self._global_names[glob.uid]
+            ty = glob.type
+            decl = self._field_decl(ty, name)
+            if glob.init is None:
+                out.append(f"static {decl};")  # C zero-initializes statics
+            elif isinstance(ty, T.PrimitiveType):
+                out.append(f"static {decl} = {self._scalar_const(glob.init, ty)};")
+            elif ty.ispointer() and (glob.init in (0, None)):
+                out.append(f"static {decl} = 0;")
+            else:
+                # aggregate initializer: copy the exact in-memory bytes in
+                # at load time
+                from ...ffi.convert import python_to_blob
+                blob = python_to_blob(glob.init, ty)
+                bytes_list = ",".join(str(b) for b in blob)
+                out.append(f"static {decl};")
+                out.append(
+                    f"__attribute__((constructor)) static void "
+                    f"init_{name}(void) {{ static const unsigned char "
+                    f"_blob[] = {{{bytes_list}}}; "
+                    f"__builtin_memcpy(&{name}, _blob, {len(blob)}); }}")
+        return out
+
+    def _field_decl(self, ty: T.Type, name: str,
+                    array_count: Optional[int] = None) -> str:
+        if isinstance(ty, T.PointerType) and isinstance(ty.pointee, T.FunctionType):
+            inner = name if array_count is None else f"{name}[{array_count}]"
+            return self._fnptr_type(ty.pointee, inner)
+        base = self.ctype(ty)
+        if array_count is not None:
+            return f"{base} {name}[{array_count}]"
+        return f"{base} {name}"
+
+    def _prototype(self, fn) -> str:
+        if fn.is_external:
+            ftype = fn.external_type
+            params = ", ".join(self.ctype(p) for p in ftype.parameters)
+            if ftype.varargs:
+                params = f"{params}, ..." if params else "..."
+            elif not params:
+                params = "void"
+            return (f"extern {self.ctype(ftype.returntype)} "
+                    f"{fn.external_name}({params})")
+        typed = fn.typed
+        params = ", ".join(
+            self._field_decl(ty, self._sym(sym))
+            for sym, ty in zip(typed.param_symbols, typed.type.parameters))
+        if not params:
+            params = "void"
+        return f"{self.ctype(typed.type.returntype)} {self.fn_name(fn)}({params})"
+
+    @staticmethod
+    def _sym(symbol) -> str:
+        return f"s{symbol.id}_{_sanitize(symbol.displayname or 'v')}"
+
+    # ==================================================================
+    # function bodies
+    # ==================================================================
+    def _line(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def _emit_function(self, fn) -> None:
+        self._line(self._prototype(fn) + " {")
+        self.indent += 1
+        self._emit_block_stmts(fn.typed.body)
+        self.indent -= 1
+        self._line("}")
+        self._line("")
+
+    def _emit_block_stmts(self, block: tast.TBlock) -> None:
+        for stat in block.statements:
+            self._emit_stat(stat)
+
+    def _emit_stat(self, s: tast.TStat) -> None:
+        if isinstance(s, tast.TVarDecl):
+            for i, (sym, ty) in enumerate(zip(s.symbols, s.types)):
+                name = self._sym(sym)
+                if s.inits is not None:
+                    self._line(f"{self._field_decl(ty, name)} = "
+                               f"{self._rv(s.inits[i], ty)};")
+                else:
+                    self._line(f"{self._field_decl(ty, name)};")
+                    self._line(f"__builtin_memset(&{name}, 0, sizeof({name}));")
+        elif isinstance(s, tast.TAssign):
+            if len(s.lhs) == 1:
+                self._line(f"{self._ev(s.lhs[0])} = "
+                           f"{self._rv(s.rhs[0], s.lhs[0].type)};")
+            else:
+                self._line("{")
+                self.indent += 1
+                temps = []
+                for rhs, lhs in zip(s.rhs, s.lhs):
+                    tmp = f"_t{next(self._tmp)}"
+                    temps.append(tmp)
+                    self._line(f"{self._field_decl(lhs.type, tmp)} = "
+                               f"{self._rv(rhs, lhs.type)};")
+                for lhs, tmp in zip(s.lhs, temps):
+                    self._line(f"{self._ev(lhs)} = {tmp};")
+                self.indent -= 1
+                self._line("}")
+        elif isinstance(s, tast.TIf):
+            first = True
+            for cond, body in s.branches:
+                kw = "if" if first else "} else if"
+                first = False
+                self._line(f"{kw} ({self._ev(cond)}) {{")
+                self.indent += 1
+                self._emit_block_stmts(body)
+                self.indent -= 1
+            if s.orelse is not None:
+                self._line("} else {")
+                self.indent += 1
+                self._emit_block_stmts(s.orelse)
+                self.indent -= 1
+            self._line("}")
+        elif isinstance(s, tast.TWhile):
+            self._line(f"while ({self._ev(s.cond)}) {{")
+            self.indent += 1
+            self._emit_block_stmts(s.body)
+            self.indent -= 1
+            self._line("}")
+        elif isinstance(s, tast.TRepeat):
+            self._line("do {")
+            self.indent += 1
+            self._emit_block_stmts(s.body)
+            self.indent -= 1
+            self._line(f"}} while (!({self._ev(s.cond)}));")
+        elif isinstance(s, tast.TForNum):
+            self._emit_for(s)
+        elif isinstance(s, tast.TDoStat):
+            self._line("{")
+            self.indent += 1
+            self._emit_block_stmts(s.body)
+            self.indent -= 1
+            self._line("}")
+        elif isinstance(s, tast.TReturn):
+            if s.expr is None:
+                self._line("return;")
+            else:
+                self._line(f"return {self._rv(s.expr, s.expr.type)};")
+        elif isinstance(s, tast.TBreak):
+            self._line("break;")
+        elif isinstance(s, tast.TExprStat):
+            self._line(f"{self._ev(s.expr)};")
+        else:
+            raise CompileError(f"cannot emit statement {type(s).__name__}")
+
+    def _emit_for(self, s: tast.TForNum) -> None:
+        cty = self.ctype(s.var_type)
+        name = self._sym(s.symbol)
+        lim = f"_lim{next(self._tmp)}"
+        self._line("{")
+        self.indent += 1
+        self._line(f"{cty} {lim} = {self._ev(s.limit)};")
+        if s.step is None:
+            cond = f"{name} < {lim}"
+            inc = f"++{name}"
+        else:
+            stp = f"_stp{next(self._tmp)}"
+            self._line(f"{cty} {stp} = {self._ev(s.step)};")
+            inc = f"{name} += {stp}"
+            if s.step_sign > 0:
+                cond = f"{name} < {lim}"
+            elif s.step_sign < 0:
+                cond = f"{name} > {lim}"
+            else:
+                cond = f"({stp} > 0 ? {name} < {lim} : {name} > {lim})"
+        self._line(f"for ({cty} {name} = {self._ev(s.start)}; {cond}; {inc}) {{")
+        self.indent += 1
+        self._emit_block_stmts(s.body)
+        self.indent -= 1
+        self._line("}")
+        self.indent -= 1
+        self._line("}")
+
+    # ==================================================================
+    # expressions
+    # ==================================================================
+    def _rv(self, e: tast.TExpr, target: T.Type) -> str:
+        """Emit ``e`` as an rvalue of ``target`` type (types already agree
+        after typechecking; this is just the string form)."""
+        return self._ev(e)
+
+    def _ev(self, e: tast.TExpr) -> str:
+        if isinstance(e, tast.TConst):
+            return self._const(e)
+        if isinstance(e, tast.TString):
+            return f"(int8_t*){self._cstring(e.value)}"
+        if isinstance(e, tast.TNull):
+            return f"(({self.ctype(e.type)})0)"
+        if isinstance(e, tast.TVar):
+            return self._sym(e.symbol)
+        if isinstance(e, tast.TGlobal):
+            if self.freestanding:
+                return self._freestanding_global(e.glob)
+            addr = self.backend.global_address(e.glob)
+            return f"(*({self.ctype(e.type)}*){addr:#x}UL)"
+        if isinstance(e, tast.TFuncLit):
+            return self.fn_name(e.func)
+        if isinstance(e, tast.TCallback):
+            if self.freestanding:
+                raise CompileError(
+                    "saveobj: this code references a Python callback "
+                    f"({e.callback.name}), which cannot exist outside the "
+                    f"Python process")
+            addr = self.backend.callback_address(e.callback)
+            cast = self._fnptr_type(e.callback.type, "")
+            return f"(({cast}){addr:#x}UL)"
+        if isinstance(e, tast.TCast):
+            return self._cast(e)
+        if isinstance(e, tast.TCall):
+            args = ", ".join(self._ev(a) for a in e.args)
+            if isinstance(e.fn, (tast.TFuncLit, tast.TCallback)):
+                return f"{self._ev(e.fn)}({args})"
+            return f"({self._ev(e.fn)})({args})"
+        if isinstance(e, tast.TSelect):
+            return f"{self._ev(e.obj)}.{_sanitize(e.field)}"
+        if isinstance(e, tast.TIndex):
+            if e.obj.type.ispointer():
+                return f"{self._ev(e.obj)}[{self._ev(e.index)}]"
+            return f"{self._ev(e.obj)}.data[{self._ev(e.index)}]"
+        if isinstance(e, tast.TVectorIndex):
+            return f"{self._ev(e.obj)}[{self._ev(e.index)}]"
+        if isinstance(e, tast.TDeref):
+            return f"(*{self._ev(e.ptr)})"
+        if isinstance(e, tast.TAddressOf):
+            return f"(&{self._ev(e.operand)})"
+        if isinstance(e, tast.TUnOp):
+            return self._unop(e)
+        if isinstance(e, tast.TBinOp):
+            return self._binop(e)
+        if isinstance(e, tast.TLogical):
+            c_op = "&&" if e.op == "and" else "||"
+            return f"(uint8_t)(({self._ev(e.lhs)}) {c_op} ({self._ev(e.rhs)}))"
+        if isinstance(e, tast.TCtor):
+            return self._ctor(e)
+        if isinstance(e, tast.TLetIn):
+            saved, self.lines = self.lines, []
+            saved_indent, self.indent = self.indent, 1
+            self._emit_block_stmts(e.block)
+            inner = "\n".join(self.lines)
+            self.lines, self.indent = saved, saved_indent
+            return f"({{\n{inner}\n{self._ev(e.expr)}; }})"
+        if isinstance(e, tast.TIntrinsic):
+            return self._intrinsic(e)
+        raise CompileError(f"cannot emit expression {type(e).__name__}")
+
+    def _const(self, e: tast.TConst) -> str:
+        ty = e.type
+        if isinstance(ty, T.VectorType):
+            elems = ", ".join(self._scalar_const(v, ty.elem) for v in e.value)
+            return f"(({self.ctype(ty)}){{{elems}}})"
+        return self._scalar_const(e.value, ty)
+
+    def _scalar_const(self, value, ty: T.PrimitiveType) -> str:
+        if ty.islogical():
+            return "1" if value else "0"
+        if ty.isintegral():
+            suffix = ""
+            if ty.bytes == 8:
+                suffix = "LL" if ty.signed else "ULL"
+            elif not ty.signed:
+                suffix = "U"
+            return f"(({self.ctype(ty)}){value}{suffix})"
+        import math
+        fv = float(value)
+        if math.isnan(fv):
+            return "__builtin_nanf(\"\")" if ty is T.float32 else "__builtin_nan(\"\")"
+        if math.isinf(fv):
+            base = "__builtin_inff()" if ty is T.float32 else "__builtin_inf()"
+            return f"(-{base})" if fv < 0 else base
+        if ty is T.float32:
+            return f"{fv!r}f"
+        return f"{fv!r}"
+
+    @staticmethod
+    def _cstring(text: str) -> str:
+        out = ['"']
+        for ch in text.encode("utf-8"):
+            if 32 <= ch < 127 and ch not in (34, 92):
+                out.append(chr(ch))
+            else:
+                out.append(f"\\{ch:03o}")
+        out.append('"')
+        return "".join(out)
+
+    def _cast(self, e: tast.TCast) -> str:
+        inner = self._ev(e.expr)
+        ty = e.type
+        if e.kind == "broadcast":
+            assert isinstance(ty, T.VectorType)
+            # GCC: vector op scalar broadcasts the scalar
+            return f"((({self.ctype(ty)}){{0}}) + ({inner}))"
+        if e.kind == "vector":
+            return f"__builtin_convertvector({inner}, {self.ctype(ty)})"
+        if e.kind in ("numeric", "pointer", "ptr-int", "int-ptr"):
+            return f"(({self.ctype(ty)})({inner}))"
+        raise CompileError(f"cannot emit cast kind {e.kind!r}")
+
+    def _ctor(self, e: tast.TCtor) -> str:
+        ty = e.type
+        inits = ", ".join(self._ev(x) for x in e.inits)
+        if isinstance(ty, T.ArrayType):
+            return f"(({self.ctype(ty)}){{{{{inits}}}}})"
+        if not e.inits:
+            return f"(({self.ctype(ty)}){{0}})"
+        return f"(({self.ctype(ty)}){{{inits}}})"
+
+    def _unop(self, e: tast.TUnOp) -> str:
+        inner = self._ev(e.operand)
+        ty = e.type
+        if e.op == "-":
+            return f"(-({inner}))"
+        if e.op == "not":
+            if ty is T.bool_:
+                return f"((uint8_t)(!({inner})))"
+            if isinstance(ty, T.VectorType) and ty.islogical():
+                return f"(({inner}) ^ 1)"
+            return f"(~({inner}))"
+        raise CompileError(f"cannot emit unary {e.op!r}")
+
+    _C_OPS = {"+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+              "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+              "==": "==", "~=": "!=", "<<": "<<", ">>": ">>",
+              "&": "&", "|": "|", "^": "^", "and": "&", "or": "|"}
+
+    def _binop(self, e: tast.TBinOp) -> str:
+        lhs, rhs = self._ev(e.lhs), self._ev(e.rhs)
+        op = self._C_OPS[e.op]
+        lt = e.lhs.type
+        # float modulo lowers to fmod
+        if e.op == "%" and (lt.isfloat() and isinstance(lt, T.PrimitiveType)):
+            fn = "__builtin_fmodf" if lt is T.float32 else "__builtin_fmod"
+            return f"{fn}({lhs}, {rhs})"
+        if e.op in ("<", ">", "<=", ">=", "==", "~="):
+            if isinstance(e.type, T.VectorType):
+                # GCC comparisons give int vectors of -1/0; normalize to
+                # our uint8 bool vectors
+                return (f"__builtin_convertvector((({lhs}) {op} ({rhs})) & 1, "
+                        f"{self.ctype(e.type)})")
+            return f"((uint8_t)(({lhs}) {op} ({rhs})))"
+        return f"(({lhs}) {op} ({rhs}))"
+
+    def _intrinsic(self, e: tast.TIntrinsic) -> str:
+        name = e.name
+        if name == "prefetch":
+            args = [self._ev(e.args[0])]
+            for hint in e.args[1:3]:
+                if not isinstance(hint, tast.TConst):
+                    raise CompileError(
+                        "prefetch hint arguments must be constants")
+                args.append(str(int(hint.value)))
+            return f"__builtin_prefetch((const void*)({args[0]})" + \
+                "".join(f", {a}" for a in args[1:]) + ")"
+        if name == "fence":
+            return "__sync_synchronize()"
+        if name in ("sqrt", "fabs", "floor", "ceil"):
+            ty = e.type
+            arg = self._ev(e.args[0])
+            if isinstance(ty, T.VectorType):
+                return self._elementwise_builtin(name, ty, [arg])
+            suffix = "f" if ty is T.float32 else ""
+            return f"__builtin_{name}{suffix}({arg})"
+        if name == "select":
+            cond, a, b = (self._ev(x) for x in e.args)
+            ty = e.type
+            if isinstance(ty, T.VectorType):
+                # bitwise blend (gcc's vector ternary is C++-only): widen
+                # the bool lanes to all-ones masks at the operand width,
+                # then (a & m) | (b & ~m) through integer views
+                cty = self.ctype(ty)
+                isize = {1: T.int8, 2: T.int16, 4: T.int32, 8: T.int64}
+                mask_ty = T.vector(isize[ty.elem.sizeof()], ty.count)
+                mty = self.ctype(mask_ty)
+                mask = (f"-__builtin_convertvector(({cond}), {mty})")
+                # peephole: a direct vector comparison already produces an
+                # all-ones native mask at its operands' width — skip the
+                # bool round-trip entirely when the widths line up
+                cond_node = e.args[0]
+                if (isinstance(cond_node, tast.TBinOp)
+                        and cond_node.op in ("<", ">", "<=", ">=", "==", "~=")
+                        and isinstance(cond_node.lhs.type, T.VectorType)
+                        and cond_node.lhs.type.elem.sizeof()
+                        == ty.elem.sizeof()):
+                    op = self._C_OPS[cond_node.op]
+                    mask = (f"(({mty})((({self._ev(cond_node.lhs)}) {op} "
+                            f"({self._ev(cond_node.rhs)}))))")
+                return (f"({{ {mty} _m = {mask}; "
+                        f"{cty} _a = ({a}); {cty} _b = ({b}); "
+                        f"{mty} _r = ((*({mty}*)&_a) & _m) | "
+                        f"((*({mty}*)&_b) & ~_m); *({cty}*)&_r; }})")
+            # select is call-like: both branches are always evaluated
+            cty = self.ctype(ty)
+            return (f"({{ {cty} _a = ({a}); {cty} _b = ({b}); "
+                    f"({cond}) ? _a : _b; }})")
+        if name in ("fmin", "fmax"):
+            ty = e.type
+            a, b = self._ev(e.args[0]), self._ev(e.args[1])
+            cmp = "<" if name == "fmin" else ">"
+            if isinstance(ty, T.VectorType):
+                cty = self.ctype(ty)
+                return (f"({{ {cty} _a = ({a}); {cty} _b = ({b}); "
+                        f"for (int _i = 0; _i < {ty.count}; _i++) "
+                        f"_a[_i] = _a[_i] {cmp} _b[_i] ? _a[_i] : _b[_i]; "
+                        f"_a; }})")
+            cty = self.ctype(ty)
+            return (f"({{ {cty} _a = ({a}); {cty} _b = ({b}); "
+                    f"_a {cmp} _b ? _a : _b; }})")
+        raise CompileError(f"cannot emit intrinsic {name!r}")
+
+    def _elementwise_builtin(self, name: str, ty: T.VectorType,
+                             args: list[str]) -> str:
+        cty = self.ctype(ty)
+        suffix = "f" if ty.elem is T.float32 else ""
+        return (f"({{ {cty} _a = ({args[0]}); "
+                f"for (int _i = 0; _i < {ty.count}; _i++) "
+                f"_a[_i] = __builtin_{name}{suffix}(_a[_i]); _a; }})")

@@ -1,0 +1,267 @@
+"""The gcc-based JIT runtime.
+
+The analog of Terra's LLVM JIT path: a connected component of typechecked
+functions is emitted as one C translation unit, compiled to a shared
+object with ``gcc -O3 -march=native``, loaded with ctypes, and cached by
+source hash so identical code never rebuilds.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+from ...core import types as T
+from ...errors import CompileError, FFIError
+from ...ffi import convert
+from ...memory import layout
+from ..base import Backend
+from . import abi
+from .emit import CEmitter
+
+_CACHE_DIR = None
+
+
+def cache_dir() -> str:
+    global _CACHE_DIR
+    if _CACHE_DIR is None:
+        base = os.environ.get("REPRO_TERRA_CACHE")
+        if base is None:
+            base = os.path.join(tempfile.gettempdir(),
+                                f"repro-terra-{os.getuid()}")
+        os.makedirs(base, exist_ok=True)
+        _CACHE_DIR = base
+    return _CACHE_DIR
+
+
+def find_cc() -> str:
+    import shutil
+    for cc in ("gcc", "cc"):
+        path = shutil.which(cc)
+        if path:
+            return path
+    raise CompileError("no C compiler found (need gcc or cc in PATH)")
+
+
+# -fwrapv: Terra's integer semantics wrap at the type's width (LLVM adds
+# without nsw); the reference interpreter implements exactly that, so the
+# C backend must not treat signed overflow as undefined.
+# -ffp-contract=off: per-operation IEEE semantics (LLVM's default, and
+# what the interpreter computes); gcc would otherwise fuse a*b+c into FMA.
+# Pass extra_cflags("-ffp-contract=fast") to opt back in per unit.
+DEFAULT_CFLAGS = ["-O3", "-march=native", "-fPIC", "-shared",
+                  "-fno-strict-aliasing", "-fno-semantic-interposition",
+                  "-fwrapv", "-ffp-contract=off", "-w"]
+
+#: extra flags applied to subsequently-compiled units (see extra_cflags)
+_EXTRA_CFLAGS: list[str] = []
+
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def extra_cflags(*flags: str):
+    """Apply extra gcc flags to Terra units compiled inside the block.
+
+    Used by the benchmark suite to emulate 2013-era compiler behaviour
+    (``-fno-tree-vectorize``) when reproducing the paper's scalar
+    baselines — modern gcc auto-vectorizes stencil loops that 2013
+    compilers left scalar.
+    """
+    _EXTRA_CFLAGS.extend(flags)
+    try:
+        yield
+    finally:
+        del _EXTRA_CFLAGS[len(_EXTRA_CFLAGS) - len(flags):]
+
+
+def compile_shared(source: str, extra_flags: tuple[str, ...] = ()) -> str:
+    """Compile C source to a cached shared object; returns the .so path."""
+    key = hashlib.sha256(
+        source.encode() + b"\0" + "\0".join(extra_flags).encode()).hexdigest()[:24]
+    so_path = os.path.join(cache_dir(), f"unit_{key}.so")
+    if os.path.exists(so_path):
+        return so_path
+    c_path = os.path.join(cache_dir(), f"unit_{key}.c")
+    with open(c_path, "w") as f:
+        f.write(source)
+    cmd = [find_cc(), *DEFAULT_CFLAGS, *extra_flags, c_path, "-o",
+           so_path + ".tmp", "-lm"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise CompileError(
+            f"gcc failed ({proc.returncode}):\n{proc.stderr}\n"
+            f"--- generated C ({c_path}) ---\n{source}")
+    os.replace(so_path + ".tmp", so_path)
+    return so_path
+
+
+class CompiledFunction:
+    """A Python-callable handle to one compiled Terra function."""
+
+    def __init__(self, func, cfn, ftype: T.FunctionType):
+        self.func = func
+        self.cfn = cfn
+        self.type = ftype
+
+    def __call__(self, *args):
+        ftype = self.type
+        nparams = len(ftype.parameters)
+        if len(args) != nparams and not ftype.varargs:
+            raise FFIError(
+                f"{self.func.name}() takes {nparams} arguments, got {len(args)}")
+        keep: list = []
+        cargs = []
+        for value, ty in zip(args, ftype.parameters):
+            cargs.append(self._to_c(value, ty, keep))
+        result = self.cfn(*cargs)
+        del keep
+        return self._from_c(result, ftype.returntype)
+
+    @staticmethod
+    def _to_c(value, ty: T.Type, keep: list):
+        if isinstance(ty, T.PrimitiveType):
+            return convert.python_to_primitive(value, ty)
+        if ty.ispointer():
+            addr, keepalive = convert.pointer_address(value, ty)
+            if keepalive is not None:
+                keep.append(keepalive)
+            return ctypes.c_uint64(addr)
+        if ty.isaggregate():
+            blob = convert.python_to_blob(value, ty)
+            cls = abi.ctype_for(ty)
+            return cls.from_buffer_copy(blob)
+        raise FFIError(f"cannot pass {ty} from Python")
+
+    @staticmethod
+    def _from_c(result, ty: T.Type):
+        if isinstance(ty, T.TupleType) and ty.isunit():
+            return None
+        if isinstance(ty, T.PrimitiveType):
+            if ty.islogical():
+                return bool(result)
+            return result
+        if ty.ispointer():
+            from ...ffi.cdata import CPointer
+            return CPointer(ty, int(result))
+        if isinstance(ty, T.TupleType):
+            blob = bytes(result)
+            values = tuple(
+                convert.blob_to_python(
+                    blob[ty.offsetof(e.field):
+                         ty.offsetof(e.field) + e.type.sizeof()], e.type)
+                for e in ty.entries)
+            return values
+        if ty.isaggregate():
+            from ...ffi.cdata import CStruct
+            return CStruct(ty, bytes(result))
+        raise FFIError(f"cannot return {ty} to Python")
+
+
+class CBackend(Backend):
+    name = "c"
+
+    def __init__(self):
+        self._libs: list[ctypes.CDLL] = []
+        self._globals: dict[int, tuple] = {}   # glob.uid -> (buffer, addr)
+        self._callbacks: dict[int, tuple] = {}  # cb.uid -> (wrapper, addr)
+
+    # -- compilation -------------------------------------------------------------
+    def compile_unit(self, fn, component):
+        emitter = CEmitter(component, self)
+        source = emitter.emit_unit()
+        so_path = compile_shared(source, tuple(_EXTRA_CFLAGS))
+        lib = ctypes.CDLL(so_path)
+        self._libs.append(lib)
+        # bind every non-external function in the unit and cache handles
+        entry_handle = None
+        for f in component:
+            if f.is_external:
+                continue
+            cname = emitter.fn_name(f)
+            cfn = getattr(lib, cname)
+            ftype = f.typed.type
+            cfn.restype = abi.ctype_for(ftype.returntype)
+            cfn.argtypes = [abi.ctype_for(p) for p in ftype.parameters]
+            handle = CompiledFunction(f, cfn, ftype)
+            f._compiled.setdefault(self.name, handle)
+            if f is fn:
+                entry_handle = handle
+        if entry_handle is None:
+            raise CompileError(
+                f"entry function {fn.name!r} not found in compiled unit")
+        return entry_handle
+
+    def emit_source(self, fn) -> str:
+        """The C source for ``fn``'s connected component (for inspection,
+        tests, and saveobj)."""
+        from ...core.linker import connected_component
+        component = connected_component(fn)
+        return CEmitter(component, self).emit_unit()
+
+    # -- globals ----------------------------------------------------------------
+    def materialize_global(self, glob):
+        entry = self._globals.get(glob.uid)
+        if entry is None:
+            ty = glob.type
+            size, align = ty.layout()
+            buf = ctypes.create_string_buffer(size + align)
+            base = ctypes.addressof(buf)
+            addr = (base + align - 1) & ~(align - 1)
+            entry = (buf, addr)
+            self._globals[glob.uid] = entry
+            if glob.init is not None:
+                self._write_at(addr, glob.init, ty)
+            else:
+                ctypes.memset(addr, 0, size)
+        return entry
+
+    def global_address(self, glob) -> int:
+        return self.materialize_global(glob)[1]
+
+    def _write_at(self, addr: int, value, ty: T.Type) -> None:
+        blob = convert.python_to_blob(value, ty)
+        ctypes.memmove(addr, blob, len(blob))
+
+    def read_global(self, glob):
+        addr = self.global_address(glob)
+        raw = ctypes.string_at(addr, glob.type.sizeof())
+        return convert.blob_to_python(raw, glob.type)
+
+    def write_global(self, glob, value) -> None:
+        self._write_at(self.global_address(glob), value, glob.type)
+
+    # -- Python callbacks --------------------------------------------------------
+    def callback_address(self, callback) -> int:
+        entry = self._callbacks.get(callback.uid)
+        if entry is None:
+            ftype = callback.type
+            restype = abi.ctype_for(ftype.returntype)
+            if ftype.returntype.isaggregate():
+                raise FFIError(
+                    "Python callbacks cannot return aggregates by value")
+            argtypes = [abi.ctype_for(p) for p in ftype.parameters]
+            cfunctype = ctypes.CFUNCTYPE(restype, *argtypes)
+
+            def trampoline(*raw_args, _cb=callback, _ftype=ftype):
+                args = [CompiledFunction._from_c(a, p)
+                        for a, p in zip(raw_args, _ftype.parameters)]
+                result = _cb.fn(*args)
+                if isinstance(_ftype.returntype, T.TupleType) \
+                        and _ftype.returntype.isunit():
+                    return None
+                if _ftype.returntype.ispointer():
+                    addr, _ = convert.pointer_address(result, _ftype.returntype)
+                    return addr
+                return result
+
+            wrapper = cfunctype(trampoline)
+            addr = ctypes.cast(wrapper, ctypes.c_void_p).value
+            entry = (wrapper, addr)
+            self._callbacks[callback.uid] = entry
+            callback._ctypes_wrapper = wrapper
+        return entry[1]

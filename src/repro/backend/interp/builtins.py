@@ -1,0 +1,350 @@
+"""Interpreter implementations of the built-in C library.
+
+The C backend links external functions against the real libc; this module
+gives the interpreter backend the same surface, implemented over the flat
+memory substrate (so ``malloc``/``free`` are fully checked) and Python's
+stdlib (math, file I/O).
+
+Each implementation receives ``(machine, args)`` with machine-convention
+values (ints/floats/addresses) and returns a machine-convention result.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+
+from ...errors import TrapError
+from ...memory.layout import round_float, wrap_int
+from ...core import types as T
+
+BUILTINS: dict = {}
+
+
+def builtin(name: str):
+    def register(fn):
+        BUILTINS[name] = fn
+        return fn
+    return register
+
+
+# -- stdlib.h ------------------------------------------------------------------
+
+@builtin("malloc")
+def _malloc(machine, args):
+    return machine.allocator.malloc(int(args[0]))
+
+
+@builtin("calloc")
+def _calloc(machine, args):
+    return machine.allocator.calloc(int(args[0]), int(args[1]))
+
+
+@builtin("realloc")
+def _realloc(machine, args):
+    return machine.allocator.realloc(int(args[0]), int(args[1]))
+
+
+@builtin("free")
+def _free(machine, args):
+    machine.allocator.free(int(args[0]))
+    return None
+
+
+@builtin("abort")
+def _abort(machine, args):
+    raise TrapError("abort() called")
+
+
+@builtin("exit")
+def _exit(machine, args):
+    raise TrapError(f"exit({int(args[0])}) called")
+
+
+_RAND_STATE = [88172645463325252]
+
+
+@builtin("srand")
+def _srand(machine, args):
+    _RAND_STATE[0] = int(args[0]) or 1
+    return None
+
+
+@builtin("rand")
+def _rand(machine, args):
+    # xorshift64, reduced to RAND_MAX range — deterministic across runs
+    x = _RAND_STATE[0]
+    x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 7
+    x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+    _RAND_STATE[0] = x
+    return x % 2147483648
+
+
+@builtin("atoi")
+def _atoi(machine, args):
+    text = machine.memory.read_cstring(int(args[0])).decode("utf-8", "replace")
+    try:
+        return wrap_int(int(text.strip().split()[0]), T.int32)
+    except (ValueError, IndexError):
+        return 0
+
+
+# -- string.h -------------------------------------------------------------------
+
+@builtin("memset")
+def _memset(machine, args):
+    addr, byte, count = int(args[0]), int(args[1]) & 0xFF, int(args[2])
+    machine.memory.write(addr, bytes([byte]) * count)
+    return addr
+
+
+@builtin("memcpy")
+def _memcpy(machine, args):
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    machine.memory.write(dst, machine.memory.read(src, count))
+    return dst
+
+
+@builtin("memmove")
+def _memmove(machine, args):
+    return _memcpy(machine, args)  # read-then-write is already safe
+
+
+@builtin("memcmp")
+def _memcmp(machine, args):
+    a = machine.memory.read(int(args[0]), int(args[2]))
+    b = machine.memory.read(int(args[1]), int(args[2]))
+    return 0 if a == b else (-1 if a < b else 1)
+
+
+@builtin("strlen")
+def _strlen(machine, args):
+    return len(machine.memory.read_cstring(int(args[0])))
+
+
+@builtin("strcmp")
+def _strcmp(machine, args):
+    a = machine.memory.read_cstring(int(args[0]))
+    b = machine.memory.read_cstring(int(args[1]))
+    return 0 if a == b else (-1 if a < b else 1)
+
+
+@builtin("strcpy")
+def _strcpy(machine, args):
+    dst = int(args[0])
+    src = machine.memory.read_cstring(int(args[1]))
+    machine.memory.write_cstring(dst, src)
+    return dst
+
+
+# -- stdio.h ---------------------------------------------------------------------
+
+def _format_printf(machine, fmt: str, varargs: list) -> str:
+    out = []
+    i = 0
+    argi = 0
+    n = len(fmt)
+    while i < n:
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        j = i + 1
+        # flags, width, precision
+        while j < n and fmt[j] in "-+ #0123456789.*":
+            j += 1
+        # length modifiers
+        while j < n and fmt[j] in "hlLzjt":
+            j += 1
+        if j >= n:
+            out.append("%")
+            break
+        conv = fmt[j]
+        spec = fmt[i:j + 1]
+        # drop length modifiers: Python's % doesn't know them
+        pyspec = "%" + "".join(c for c in spec[1:-1] if c not in "hlLzjt") + conv
+        if conv == "%":
+            out.append("%")
+        elif conv in "diu":
+            out.append(pyspec.replace("u", "d") % int(varargs[argi]))
+            argi += 1
+        elif conv in "fFeEgG":
+            out.append(pyspec % float(varargs[argi]))
+            argi += 1
+        elif conv in "xXo":
+            out.append(pyspec % (int(varargs[argi]) & 0xFFFFFFFFFFFFFFFF))
+            argi += 1
+        elif conv == "c":
+            out.append(chr(int(varargs[argi]) & 0xFF))
+            argi += 1
+        elif conv == "s":
+            text = machine.memory.read_cstring(int(varargs[argi]))
+            out.append(pyspec % text.decode("utf-8", "replace"))
+            argi += 1
+        elif conv == "p":
+            out.append(f"{int(varargs[argi]):#x}")
+            argi += 1
+        else:
+            out.append(spec)
+        i = j + 1
+    return "".join(out)
+
+
+@builtin("printf")
+def _printf(machine, args):
+    fmt = machine.memory.read_cstring(int(args[0])).decode("utf-8", "replace")
+    text = _format_printf(machine, fmt, list(args[1:]))
+    machine.stdout_chunks.append(text)
+    sys.stdout.write(text)
+    return len(text)
+
+
+@builtin("snprintf")
+def _snprintf(machine, args):
+    dst, size = int(args[0]), int(args[1])
+    fmt = machine.memory.read_cstring(int(args[2])).decode("utf-8", "replace")
+    text = _format_printf(machine, fmt, list(args[3:]))
+    raw = text.encode("utf-8")
+    if size > 0:
+        clipped = raw[:size - 1]
+        machine.memory.write_cstring(dst, clipped)
+    return len(raw)
+
+
+@builtin("puts")
+def _puts(machine, args):
+    text = machine.memory.read_cstring(int(args[0])).decode("utf-8", "replace")
+    machine.stdout_chunks.append(text + "\n")
+    sys.stdout.write(text + "\n")
+    return len(text) + 1
+
+
+@builtin("putchar")
+def _putchar(machine, args):
+    ch = chr(int(args[0]) & 0xFF)
+    machine.stdout_chunks.append(ch)
+    sys.stdout.write(ch)
+    return int(args[0])
+
+
+# file I/O: FILE* handles are fake addresses mapped to Python files
+_FILES: dict[int, object] = {}
+_FILE_IDS = iter(range(0x70000000, 0x7FFFFFFF))
+
+
+@builtin("fopen")
+def _fopen(machine, args):
+    path = machine.memory.read_cstring(int(args[0])).decode("utf-8")
+    mode = machine.memory.read_cstring(int(args[1])).decode("utf-8")
+    pymode = mode.replace("b", "") + "b"
+    try:
+        f = open(path, pymode)  # noqa: SIM115
+    except OSError:
+        return 0
+    handle = machine.memory.map_region(8, "foreign").start
+    _FILES[handle] = f
+    return handle
+
+
+def _file(args0) -> object:
+    f = _FILES.get(int(args0))
+    if f is None:
+        raise TrapError(f"invalid FILE* {int(args0):#x}")
+    return f
+
+
+@builtin("fclose")
+def _fclose(machine, args):
+    f = _file(args[0])
+    f.close()
+    del _FILES[int(args[0])]
+    return 0
+
+
+@builtin("fread")
+def _fread(machine, args):
+    ptr, size, count, fh = (int(a) for a in args)
+    data = _file(fh).read(size * count)
+    machine.memory.write(ptr, data)
+    return len(data) // size if size else 0
+
+
+@builtin("fwrite")
+def _fwrite(machine, args):
+    ptr, size, count, fh = (int(a) for a in args)
+    data = machine.memory.read(ptr, size * count)
+    _file(fh).write(data)
+    return count
+
+
+@builtin("fseek")
+def _fseek(machine, args):
+    _file(args[0]).seek(int(args[1]), int(args[2]))
+    return 0
+
+
+@builtin("ftell")
+def _ftell(machine, args):
+    return _file(args[0]).tell()
+
+
+@builtin("fgetc")
+def _fgetc(machine, args):
+    data = _file(args[0]).read(1)
+    return data[0] if data else -1
+
+
+@builtin("fputc")
+def _fputc(machine, args):
+    _file(args[1]).write(bytes([int(args[0]) & 0xFF]))
+    return int(args[0])
+
+
+# -- math.h ----------------------------------------------------------------------
+
+def _math1(name: str, fn, single: bool):
+    ty = T.float32 if single else T.float64
+
+    def impl(machine, args):
+        try:
+            r = fn(float(args[0]))
+        except ValueError:
+            r = math.nan
+        return round_float(r, ty)
+    BUILTINS[name] = impl
+
+
+def _math2(name: str, fn, single: bool):
+    ty = T.float32 if single else T.float64
+
+    def impl(machine, args):
+        try:
+            r = fn(float(args[0]), float(args[1]))
+        except ValueError:
+            r = math.nan
+        return round_float(r, ty)
+    BUILTINS[name] = impl
+
+
+for _name, _fn in [("sqrt", math.sqrt), ("fabs", abs), ("exp", math.exp),
+                   ("log", math.log), ("sin", math.sin), ("cos", math.cos),
+                   ("tan", math.tan), ("floor", math.floor),
+                   ("ceil", math.ceil), ("asin", math.asin),
+                   ("acos", math.acos), ("atan", math.atan)]:
+    _math1(_name, _fn, single=False)
+    _math1(_name + "f", _fn, single=True)
+
+for _name, _fn in [("pow", math.pow), ("fmod", math.fmod),
+                   ("atan2", math.atan2), ("fmin", min), ("fmax", max)]:
+    _math2(_name, _fn, single=False)
+    _math2(_name + "f", _fn, single=True)
+
+
+# -- time.h ----------------------------------------------------------------------
+
+@builtin("clock")
+def _clock(machine, args):
+    return int(time.process_time() * 1_000_000)  # CLOCKS_PER_SEC = 1e6

@@ -1,0 +1,192 @@
+"""A miniature C declaration parser for ``includec``.
+
+The paper uses Clang to import arbitrary C headers.  Without a C front-end
+dependency, this module parses the *declaration subset* that headers
+actually need for interop: function prototypes over scalar types,
+pointers, and (opaque) struct types:
+
+    double hypot(double x, double y);
+    struct ctx;  /* opaque */
+    struct ctx *ctx_new(void);
+    int printf(const char *fmt, ...);
+
+Supported type syntax: ``void  char  short  int  long  long long  float
+double`` with ``signed/unsigned``, ``const`` (ignored), ``struct NAME``
+(opaque), ``*`` pointers, and ``...`` varargs.  ``#include <known.h>``
+lines pull in the built-in header tables; other preprocessor lines and
+comments are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import types as T
+from ..errors import TerraSyntaxError
+from . import libc
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|\.\.\.|[*(),;]")
+
+_BASE_TYPES = {
+    ("void",): None,
+    ("char",): T.int8,
+    ("signed", "char"): T.int8,
+    ("unsigned", "char"): T.uint8,
+    ("short",): T.int16,
+    ("short", "int"): T.int16,
+    ("unsigned", "short"): T.uint16,
+    ("unsigned", "short", "int"): T.uint16,
+    ("int",): T.int32,
+    ("signed",): T.int32,
+    ("signed", "int"): T.int32,
+    ("unsigned",): T.uint32,
+    ("unsigned", "int"): T.uint32,
+    ("long",): T.int64,
+    ("long", "int"): T.int64,
+    ("unsigned", "long"): T.uint64,
+    ("unsigned", "long", "int"): T.uint64,
+    ("long", "long"): T.int64,
+    ("long", "long", "int"): T.int64,
+    ("unsigned", "long", "long"): T.uint64,
+    ("unsigned", "long", "long", "int"): T.uint64,
+    ("float",): T.float32,
+    ("double",): T.float64,
+    ("_Bool",): T.bool_,
+    ("size_t",): T.uint64,
+    ("ssize_t",): T.int64,
+    ("int8_t",): T.int8, ("int16_t",): T.int16,
+    ("int32_t",): T.int32, ("int64_t",): T.int64,
+    ("uint8_t",): T.uint8, ("uint16_t",): T.uint16,
+    ("uint32_t",): T.uint32, ("uint64_t",): T.uint64,
+}
+
+_TYPE_WORDS = {w for key in _BASE_TYPES for w in key} | {
+    "const", "struct", "volatile", "restrict", "extern", "static", "inline"}
+
+
+def _strip_comments(source: str) -> str:
+    source = re.sub(r"/\*.*?\*/", " ", source, flags=re.S)
+    return re.sub(r"//[^\n]*", " ", source)
+
+
+class CDeclParser:
+    def __init__(self, source: str):
+        self.source = source
+        self.opaque: dict[str, T.OpaqueType] = {}
+
+    def parse(self) -> dict:
+        """Returns a namespace dict: function name -> external function,
+        struct name -> opaque type."""
+        table: dict = {}
+        for line in _strip_comments(self.source).split("\n"):
+            line = line.strip()
+            if not line.startswith("#"):
+                continue
+            m = re.match(r"#\s*include\s*[<\"]([^>\"]+)[>\"]", line)
+            if m:
+                header = libc.header_table(m.group(1))
+                if header is None:
+                    raise TerraSyntaxError(
+                        f"includec: unknown header {m.group(1)!r} (known: "
+                        f"{', '.join(libc.known_headers())})")
+                table.update(header)
+        body = re.sub(r"(?m)^\s*#[^\n]*$", "", _strip_comments(self.source))
+        for decl in body.split(";"):
+            decl = decl.strip()
+            if not decl:
+                continue
+            self._parse_decl(decl, table)
+        return table
+
+    def _parse_decl(self, decl: str, table: dict) -> None:
+        tokens = _TOKEN_RE.findall(decl)
+        if not tokens:
+            return
+        # opaque struct declaration: struct NAME
+        if tokens[0] == "struct" and len(tokens) == 2:
+            table[tokens[1]] = self._opaque(tokens[1])
+            return
+        pos = [0]
+
+        def peek():
+            return tokens[pos[0]] if pos[0] < len(tokens) else None
+
+        def advance():
+            tok = peek()
+            pos[0] += 1
+            return tok
+
+        rettype, name = self._parse_type_and_name(tokens, pos)
+        if name is None or peek() != "(":
+            raise TerraSyntaxError(
+                f"includec: cannot parse declaration: {decl!r}")
+        advance()  # '('
+        params: list[T.Type] = []
+        varargs = False
+        if peek() == ")":
+            advance()
+        else:
+            while True:
+                if peek() == "...":
+                    advance()
+                    varargs = True
+                elif peek() == "void" and tokens[pos[0] + 1] == ")":
+                    advance()
+                else:
+                    ptype, _pname = self._parse_type_and_name(tokens, pos)
+                    if ptype is None:
+                        raise TerraSyntaxError(
+                            f"includec: parameter of {name!r} has void type")
+                    params.append(ptype)
+                tok = advance()
+                if tok == ")":
+                    break
+                if tok != ",":
+                    raise TerraSyntaxError(
+                        f"includec: expected ',' or ')' in {decl!r}")
+        table[name] = libc.external(
+            name, params, rettype if rettype is not None else T.unit, varargs)
+
+    def _parse_type_and_name(self, tokens, pos):
+        words = []
+        name = None
+        base: "T.Type | None" = None
+        while pos[0] < len(tokens):
+            tok = tokens[pos[0]]
+            if tok in ("const", "volatile", "restrict", "extern", "static",
+                       "inline"):
+                pos[0] += 1
+                continue
+            if tok == "struct":
+                pos[0] += 1
+                sname = tokens[pos[0]]
+                pos[0] += 1
+                base = self._opaque(sname)
+                break
+            if tok in _TYPE_WORDS or (tok,) in _BASE_TYPES:
+                words.append(tok)
+                pos[0] += 1
+                continue
+            break
+        if base is None:
+            key = tuple(words)
+            if key not in _BASE_TYPES:
+                raise TerraSyntaxError(
+                    f"includec: unknown type {' '.join(words)!r}")
+            base = _BASE_TYPES[key]
+        ty: "T.Type | None" = base
+        while pos[0] < len(tokens) and tokens[pos[0]] == "*":
+            pos[0] += 1
+            ty = T.pointer(ty if ty is not None else T.OpaqueType("void"))
+        if pos[0] < len(tokens) and re.fullmatch(r"[A-Za-z_]\w*",
+                                                 tokens[pos[0]]):
+            name = tokens[pos[0]]
+            pos[0] += 1
+        return ty, name
+
+    def _opaque(self, name: str) -> T.OpaqueType:
+        ty = self.opaque.get(name)
+        if ty is None:
+            ty = T.OpaqueType(name)
+            self.opaque[name] = ty
+        return ty

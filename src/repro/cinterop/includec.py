@@ -1,0 +1,41 @@
+"""``includec`` — import C declarations into a namespace table.
+
+The paper (§2): "The Lua function includec imports the C functions from
+stdlib.h.  It creates a Lua table ... then fills the table with Terra
+functions that invoke the corresponding C functions."  Here the table is a
+dict-like namespace; Terra code reaches entries through the nested-table
+sugar (``std.malloc``).
+
+``includec("stdlib.h")`` imports a known header; arbitrary declaration
+text (optionally with ``#include`` lines of known headers) is parsed by
+the miniature C front-end in :mod:`repro.cinterop.cparse`.
+"""
+
+from __future__ import annotations
+
+from .cparse import CDeclParser
+from . import libc
+
+
+class CNamespace(dict):
+    """The table returned by includec — attribute and item access.
+
+    Attribute lookup prefers imported declarations over dict methods, so
+    ``stdlib.get``-style names resolve to the C functions."""
+
+    is_terra_namespace = True
+
+    def __getattribute__(self, name: str):
+        if not name.startswith("_") and dict.__contains__(self, name):
+            return dict.__getitem__(self, name)
+        return super().__getattribute__(name)
+
+    def __getattr__(self, name: str):
+        raise AttributeError(name)
+
+
+def includec(header: str) -> CNamespace:
+    table = libc.header_table(header.strip())
+    if table is not None:
+        return CNamespace(table)
+    return CNamespace(CDeclParser(header).parse())

@@ -1,0 +1,258 @@
+"""Terra functions: declaration, definition, lazy typechecking, JIT.
+
+The lifecycle follows the paper exactly:
+
+* ``declare()`` creates an *undefined* function (the paper's ``tdecl``) —
+  an address that other functions may reference before it has a body;
+* defining (``ter l(x:T):T { e }``) specializes the body **eagerly** and
+  attaches it; a function can be defined only once (definitions are
+  immutable, which is what makes typechecking monotonic, §4.1);
+* typechecking and linking run **lazily**: the first time a function is
+  called (or referenced by a called function), its whole connected
+  component of references is typechecked (paper Figure 4);
+* compilation happens per backend on first call, and the result is cached.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..errors import SpecializeError, TypeCheckError
+from . import sast
+from . import types as T
+from .symbols import Symbol
+
+_func_ids = itertools.count(1)
+
+
+class TerraFunction:
+    """A Terra function object (the paper's function address ``l``)."""
+
+    is_terra_function = True
+
+    UNDEFINED = "undefined"
+    DEFINED = "defined"
+
+    def __init__(self, name: str = "anon", location=None):
+        self.uid = next(_func_ids)
+        self.name = name
+        self.location = location
+        self.state = self.UNDEFINED
+        # definition payload (present when state == DEFINED)
+        self.param_symbols: list[Symbol] = []
+        self.param_types: list[T.Type] = []
+        self.declared_rettype: Optional[T.Type] = None
+        self.body: Optional[sast.SBlock] = None
+        # external (C) functions have a type and symbol name but no body
+        self.external_name: Optional[str] = None
+        self.external_type: Optional[T.FunctionType] = None
+        # lazy results
+        self.typed = None            # TypedFunction after typechecking
+        self._type: Optional[T.FunctionType] = None
+        self._typecheck_error: Optional[Exception] = None
+        self._compiled: dict[str, object] = {}   # backend name -> handle
+
+    # -- definition ------------------------------------------------------------
+    def define(self, param_symbols: Sequence[Symbol],
+               param_types: Sequence[T.Type],
+               rettype: Optional[T.Type], body: sast.SBlock) -> "TerraFunction":
+        """Attach a specialized definition (the paper's LTDEFN rule).
+
+        Functions may be defined exactly once: LTDEFN requires the target
+        to be undefined, which keeps typechecking monotonic.
+        """
+        if self.state != self.UNDEFINED:
+            raise SpecializeError(
+                f"Terra function {self.name!r} is already defined; "
+                f"definitions are immutable")
+        self.param_symbols = list(param_symbols)
+        self.param_types = list(param_types)
+        self.declared_rettype = rettype
+        self.body = body
+        self.state = self.DEFINED
+        if rettype is not None:
+            rets = [] if (isinstance(rettype, T.TupleType) and rettype.isunit()) \
+                else ([rettype] if not isinstance(rettype, T.TupleType)
+                      else list(rettype.element_types))
+            self._type = T.FunctionType(self.param_types, rets)
+        return self
+
+    @classmethod
+    def external(cls, name: str, ftype: T.FunctionType,
+                 symbol_name: Optional[str] = None) -> "TerraFunction":
+        """An externally-implemented (C) function: has a type, no body."""
+        fn = cls(name)
+        fn.state = cls.DEFINED
+        fn.external_name = symbol_name or name
+        fn.external_type = ftype
+        fn._type = ftype
+        fn.param_types = list(ftype.parameters)
+        return fn
+
+    @property
+    def is_external(self) -> bool:
+        return self.external_name is not None
+
+    def isdefined(self) -> bool:
+        return self.state == self.DEFINED
+
+    # -- typechecking (lazy) -------------------------------------------------------
+    def gettype(self) -> T.FunctionType:
+        """The function's type; typechecks if the return type is inferred."""
+        if self._type is not None:
+            return self._type
+        self.ensure_typechecked()
+        assert self._type is not None
+        return self._type
+
+    def ensure_typechecked(self) -> None:
+        """Typecheck this function's connected component (paper Fig. 4)."""
+        from .linker import ensure_typechecked
+        ensure_typechecked(self)
+
+    def peektype(self) -> Optional[T.FunctionType]:
+        return self._type
+
+    # -- compilation & calling ---------------------------------------------------
+    def compile(self, backend=None):
+        """Compile (JIT) on ``backend`` and return a callable handle."""
+        from ..backend.base import resolve_backend
+        backend = resolve_backend(backend)
+        handle = self._compiled.get(backend.name)
+        if handle is None:
+            from .linker import ensure_compiled
+            handle = ensure_compiled(self, backend)
+            self._compiled[backend.name] = handle
+        return handle
+
+    def __call__(self, *args):
+        """Calling from Python JIT-compiles on the default backend and
+        converts arguments via the FFI (the paper's LTAPP rule)."""
+        return self.compile()(*args)
+
+    def getdefinitions(self):
+        return [self]
+
+    # -- inspection (Terra's printpretty / disas) -----------------------------
+    def printpretty(self, typed: bool = False) -> str:
+        """Render the specialized (or, with ``typed=True``, the typed)
+        form of this function as Terra-like source and print it."""
+        from .prettyprint import format_specialized, format_typed
+        text = format_typed(self) if typed else format_specialized(self)
+        print(text)
+        return text
+
+    def get_source(self, typed: bool = False) -> str:
+        """Like :meth:`printpretty` but returns the text without printing."""
+        from .prettyprint import format_specialized, format_typed
+        return format_typed(self) if typed else format_specialized(self)
+
+    def get_c_source(self) -> str:
+        """The C translation unit the gcc backend compiles for this
+        function's connected component (the analog of Terra's ``disas``)."""
+        from ..backend.base import get_backend
+        return get_backend("c").emit_source(self)
+
+    def __repr__(self) -> str:
+        ty = self._type if self._type is not None else "<untypechecked>"
+        return f"terra {self.name}: {ty} [{self.state}]"
+
+
+def declare(name: str = "anon") -> TerraFunction:
+    """Create an undefined Terra function (the paper's ``tdecl``) for
+    forward references and mutual recursion."""
+    return TerraFunction(name)
+
+
+class GlobalVar:
+    """A Terra global variable (the full language's ``global()``).
+
+    Storage is materialized per backend on first use; reads/writes from
+    Python go through :meth:`get`/:meth:`set`.
+    """
+
+    is_terra_global = True
+    _ids = itertools.count(1)
+
+    def __init__(self, type: T.Type, init=None, name: str = "g"):  # noqa: A002
+        if not isinstance(type, T.Type):
+            raise TypeCheckError(f"global() requires a Terra type, got {type!r}")
+        self.uid = next(self._ids)
+        self.type = type
+        self.init = init
+        self.name = f"{name}{self.uid}"
+        self._storages: dict[str, object] = {}  # backend name -> storage
+
+    def storage_for(self, backend):
+        store = self._storages.get(backend.name)
+        if store is None:
+            store = backend.materialize_global(self)
+            self._storages[store_name := backend.name] = store
+        return store
+
+    def get(self, backend=None):
+        from ..backend.base import resolve_backend
+        backend = resolve_backend(backend)
+        return backend.read_global(self)
+
+    def set(self, value, backend=None) -> None:
+        from ..backend.base import resolve_backend
+        backend = resolve_backend(backend)
+        backend.write_global(self, value)
+
+    def __repr__(self) -> str:
+        return f"global {self.name} : {self.type}"
+
+
+def global_(type: T.Type, init=None, name: str = "g") -> GlobalVar:  # noqa: A002
+    return GlobalVar(type, init, name)
+
+
+class Constant:
+    """A typed Terra constant (``terralib.constant(type, value)``);
+    embeds as a literal during specialization."""
+
+    is_terra_constant = True
+
+    def __init__(self, type: T.Type, value):  # noqa: A002
+        if not isinstance(type, T.Type):
+            raise TypeCheckError(f"constant() requires a Terra type, got {type!r}")
+        self.type = type
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"constant({self.type}, {self.value!r})"
+
+
+def constant(type: T.Type, value) -> Constant:  # noqa: A002
+    return Constant(type, value)
+
+
+class PyCallback:
+    """A Python function with an explicit Terra function type, callable
+    from Terra code — the analog of wrapping a Lua function through
+    LuaJIT's FFI (paper §4.2, cross-language interoperability)."""
+
+    is_terra_callback = True
+    _ids = itertools.count(1)
+
+    def __init__(self, ftype: T.FunctionType, fn):
+        if not isinstance(ftype, T.FunctionType):
+            raise TypeCheckError(
+                f"pycallback() requires a Terra function type, got {ftype!r}")
+        self.uid = next(self._ids)
+        self.type = ftype
+        self.fn = fn
+        self.name = f"pycb_{getattr(fn, '__name__', 'fn')}_{self.uid}"
+        self._ctypes_wrapper = None  # cached CFUNCTYPE instance (C backend)
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return f"pycallback({self.type}, {self.fn!r})"
+
+
+def pycallback(ftype: T.FunctionType, fn) -> PyCallback:
+    return PyCallback(ftype, fn)

@@ -1,0 +1,160 @@
+"""Backend intrinsics exposed to Terra code.
+
+The paper's auto-tuner (§6.1) relies on ``prefetch`` ("we use prefetch
+intrinsics to optimize non-contiguous reads from memory") and on vector
+types.  Intrinsics are meta-level values: referencing one from Terra code
+produces an :class:`~repro.core.sast.SIntrinsic` node, which each backend
+lowers in its own way (``__builtin_prefetch`` under gcc, a no-op in the
+interpreter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import TypeCheckError
+from . import types as T
+
+
+class Intrinsic:
+    """A named backend intrinsic.  ``typerule`` receives the list of
+    argument types and returns the result type (raising
+    :class:`TypeCheckError` on misuse)."""
+
+    is_terra_intrinsic = True
+
+    def __init__(self, name: str, typerule: Callable[[list[T.Type]], T.Type]):
+        self.intrinsic_name = name
+        self.typerule = typerule
+
+    def __repr__(self) -> str:
+        return f"intrinsic({self.intrinsic_name})"
+
+
+def _prefetch_rule(arg_types: list[T.Type]) -> T.Type:
+    if not arg_types or not arg_types[0].ispointer():
+        raise TypeCheckError(
+            "prefetch requires a pointer as its first argument")
+    if len(arg_types) > 4:
+        raise TypeCheckError("prefetch takes at most 4 arguments")
+    for ty in arg_types[1:]:
+        if not ty.isintegral():
+            raise TypeCheckError("prefetch hint arguments must be integers")
+    return T.unit
+
+
+def _fence_rule(arg_types: list[T.Type]) -> T.Type:
+    if arg_types:
+        raise TypeCheckError("fence takes no arguments")
+    return T.unit
+
+
+def _unary_float_rule(name: str):
+    def rule(arg_types: list[T.Type]) -> T.Type:
+        if len(arg_types) != 1:
+            raise TypeCheckError(f"{name} takes one argument")
+        ty = arg_types[0]
+        if ty.isfloat():
+            return ty
+        if ty.isvector() and ty.isfloat():
+            return ty
+        raise TypeCheckError(f"{name} requires a float argument, got {ty}")
+    return rule
+
+
+def _binary_minmax_rule(name: str):
+    def rule(arg_types: list[T.Type]) -> T.Type:
+        if len(arg_types) != 2:
+            raise TypeCheckError(f"{name} takes two arguments")
+        a, b = arg_types
+        if a is b and (a.isarithmetic() or (a.isvector() and a.isarithmetic())):
+            return a
+        if a.isarithmetic() and b.isarithmetic() and \
+                isinstance(a, T.PrimitiveType) and isinstance(b, T.PrimitiveType):
+            return T.common_primitive(a, b)
+        raise TypeCheckError(f"{name} requires matching arithmetic types, "
+                             f"got {a} and {b}")
+    return rule
+
+
+#: ``prefetch(addr, rw, locality [, cachetype])`` — hints a future access.
+prefetch = Intrinsic("prefetch", _prefetch_rule)
+
+#: full memory fence
+fence = Intrinsic("fence", _fence_rule)
+
+#: math intrinsics usable on floats and float vectors
+sqrt = Intrinsic("sqrt", _unary_float_rule("sqrt"))
+fabs = Intrinsic("fabs", _unary_float_rule("fabs"))
+floor_ = Intrinsic("floor", _unary_float_rule("floor"))
+ceil_ = Intrinsic("ceil", _unary_float_rule("ceil"))
+
+#: scalar/vector select-free min/max
+fmin = Intrinsic("fmin", _binary_minmax_rule("fmin"))
+fmax = Intrinsic("fmax", _binary_minmax_rule("fmax"))
+
+
+def _select_rule(arg_types: list[T.Type]) -> T.Type:
+    if len(arg_types) != 3:
+        raise TypeCheckError("select takes (cond, a, b)")
+    cond, a, b = arg_types
+    if a is not b:
+        raise TypeCheckError(
+            f"select branches must have the same type, got {a} and {b}")
+    if cond is T.bool_:
+        return a
+    if isinstance(cond, T.VectorType) and cond.islogical():
+        if not (isinstance(a, T.VectorType) and a.count == cond.count):
+            raise TypeCheckError(
+                f"vector select needs matching vector branches, got {a}")
+        return a
+    raise TypeCheckError(f"select condition must be bool or a bool vector, "
+                         f"got {cond}")
+
+
+#: ``select(cond, a, b)`` — branch-free choice; elementwise on vectors
+#: (Terra's ``terralib.select``).  Both branches are always evaluated.
+select = Intrinsic("select", _select_rule)
+
+ALL_INTRINSICS = {i.intrinsic_name: i for i in
+                  (prefetch, fence, sqrt, fabs, floor_, ceil_, fmin, fmax,
+                   select)}
+
+
+def _make_vectorof():
+    """``vectorof(T, a, b, ...)`` — a vector literal from lane values
+    (Terra's ``vectorof``), implemented as a macro over quotes."""
+    from .specialize import Macro
+    from . import sast
+    from .quotes import Quote
+    from .symbols import Symbol
+
+    def vectorof_impl(type_quote, *lanes):
+        tree = type_quote.tree if isinstance(type_quote, Quote) else None
+        if not isinstance(tree, sast.STypeRef) \
+                or not isinstance(tree.type, T.PrimitiveType):
+            raise TypeCheckError(
+                "vectorof(T, ...) needs a primitive element type first")
+        elem = tree.type
+        n = len(lanes)
+        if n == 0:
+            raise TypeCheckError("vectorof needs at least one lane value")
+        vty = T.vector(elem, n)
+        sym = Symbol(vty, "vlit")
+        stmts = [sast.SVarDecl([sym], [vty], None)]
+        for i, lane in enumerate(lanes):
+            stmts.append(sast.SAssign(
+                [sast.SIndex(sast.SVar(sym), sast.SConst(i, T.int32))],
+                [lane.as_expression()]))
+        return Quote.from_statements(sast.SBlock(stmts),
+                                     [sast.SVar(sym)])
+
+    return Macro(vectorof_impl, "vectorof")
+
+
+#: vector literal constructor (a macro, usable directly from Terra code)
+vectorof = _make_vectorof()
+
+
+def lookup(name: str) -> Optional[Intrinsic]:
+    return ALL_INTRINSICS.get(name)

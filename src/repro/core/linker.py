@@ -1,0 +1,79 @@
+"""Linking: connected-component typechecking and compilation.
+
+Paper Figure 4 (TYFUN1/TYFUN2): before a Terra function runs, every
+function in the connected component of its references must typecheck —
+"they ensure all functions that are in the connected component of a
+function are typechecked before the function is run."  A reference to a
+declared-but-undefined function is a :class:`LinkError`.
+
+Typechecking success is cached (definitions are immutable, so success is
+stable); failures are *not* cached, because the result of typechecking can
+"change monotonically from a type-error to success as the functions it
+references are defined" — and because type reflection (``__cast``,
+``__finalizelayout``) may legitimately add capabilities to types between
+attempts.
+"""
+
+from __future__ import annotations
+
+from ..errors import LinkError, TypeCheckError
+from .function import TerraFunction
+
+#: functions currently being typechecked (cycle detection)
+_in_progress: set[int] = set()
+
+
+def typecheck_function(fn: TerraFunction) -> None:
+    """Typecheck one function (no-op for externals and cached results)."""
+    if fn.typed is not None or fn.is_external:
+        return
+    if not fn.isdefined():
+        raise LinkError(
+            f"Terra function {fn.name!r} is declared but not defined")
+    if fn.uid in _in_progress:
+        raise TypeCheckError(
+            f"function {fn.name!r} is recursive (directly or mutually) and "
+            f"needs an explicit return type annotation")
+    from .typechecker import TypeChecker
+    _in_progress.add(fn.uid)
+    try:
+        typed = TypeChecker(fn).run()
+    finally:
+        _in_progress.discard(fn.uid)
+    fn.typed = typed
+    fn._type = typed.type
+
+
+def connected_component(fn: TerraFunction) -> list[TerraFunction]:
+    """All functions reachable from ``fn`` through direct references,
+    including ``fn`` itself, in deterministic discovery order.  Requires
+    the component to be fully typechecked."""
+    seen: dict[int, TerraFunction] = {}
+    order: list[TerraFunction] = []
+    stack = [fn]
+    while stack:
+        f = stack.pop()
+        if f.uid in seen:
+            continue
+        seen[f.uid] = f
+        order.append(f)
+        if f.is_external:
+            continue
+        typecheck_function(f)
+        assert f.typed is not None
+        for ref in f.typed.referenced_functions:
+            if ref.uid not in seen:
+                stack.append(ref)
+    return order
+
+
+def ensure_typechecked(fn: TerraFunction) -> None:
+    """Typecheck ``fn`` and its whole connected component (paper Fig. 4)."""
+    connected_component(fn)
+
+
+def ensure_compiled(fn: TerraFunction, backend):
+    """Compile ``fn``'s connected component on ``backend`` and return a
+    callable handle for ``fn``."""
+    component = connected_component(fn)
+    return backend.compile_unit(fn, component)

@@ -1,0 +1,309 @@
+"""Pretty-printing of specialized and typed Terra trees.
+
+Real Terra's ``fn:printpretty()`` — indispensable when debugging staged
+code, since the source the programmer wrote is not the code that exists
+after specialization (escapes evaluated, variables renamed, quotes
+spliced).  Two printers:
+
+* :func:`format_specialized` — the eagerly-specialized (untyped) tree,
+* :func:`format_typed` — the typed IR, with inferred types and the
+  compiler-inserted conversions visible.
+"""
+
+from __future__ import annotations
+
+from . import sast, tast
+from . import types as T
+
+
+class _Printer:
+    def __init__(self):
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("  " * self.depth + text)
+
+    def render(self) -> str:
+        return "\n".join(self.lines)
+
+
+# ===========================================================================
+# specialized trees
+# ===========================================================================
+
+def format_specialized(fn) -> str:
+    """Render a defined TerraFunction's specialized form as Terra-like
+    source (what exists after eager specialization, before typechecking)."""
+    if fn.is_external:
+        return f"terra {fn.name} :: {fn.external_type} -- external"
+    if fn.body is None:
+        return f"terra {fn.name} -- declared, not defined"
+    p = _Printer()
+    params = ", ".join(
+        f"{s.name} : {t}" for s, t in zip(fn.param_symbols, fn.param_types))
+    ret = f" : {fn.declared_rettype}" if fn.declared_rettype is not None else ""
+    p.line(f"terra {fn.name}({params}){ret}")
+    p.depth += 1
+    _spec_block(p, fn.body)
+    p.depth -= 1
+    p.line("end")
+    return p.render()
+
+
+def _spec_block(p: _Printer, block: sast.SBlock) -> None:
+    for stat in block.statements:
+        _spec_stat(p, stat)
+
+
+def _spec_stat(p: _Printer, s: sast.SStat) -> None:
+    if isinstance(s, sast.SVarDecl):
+        names = ", ".join(
+            sym.name + (f" : {ty}" if ty is not None else "")
+            for sym, ty in zip(s.symbols, s.types))
+        if s.inits is not None:
+            p.line(f"var {names} = "
+                   f"{', '.join(spec_expr_str(e) for e in s.inits)}")
+        else:
+            p.line(f"var {names}")
+    elif isinstance(s, sast.SAssign):
+        p.line(f"{', '.join(spec_expr_str(e) for e in s.lhs)} = "
+               f"{', '.join(spec_expr_str(e) for e in s.rhs)}")
+    elif isinstance(s, sast.SIf):
+        for i, (cond, body) in enumerate(s.branches):
+            p.line(f"{'if' if i == 0 else 'elseif'} {spec_expr_str(cond)} then")
+            p.depth += 1
+            _spec_block(p, body)
+            p.depth -= 1
+        if s.orelse is not None:
+            p.line("else")
+            p.depth += 1
+            _spec_block(p, s.orelse)
+            p.depth -= 1
+        p.line("end")
+    elif isinstance(s, sast.SWhile):
+        p.line(f"while {spec_expr_str(s.cond)} do")
+        p.depth += 1
+        _spec_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, sast.SRepeat):
+        p.line("repeat")
+        p.depth += 1
+        _spec_block(p, s.body)
+        p.depth -= 1
+        p.line(f"until {spec_expr_str(s.cond)}")
+    elif isinstance(s, sast.SForNum):
+        step = f", {spec_expr_str(s.step)}" if s.step is not None else ""
+        p.line(f"for {s.symbol.name} = {spec_expr_str(s.start)}, "
+               f"{spec_expr_str(s.limit)}{step} do")
+        p.depth += 1
+        _spec_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, sast.SDoStat):
+        p.line("do")
+        p.depth += 1
+        _spec_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, sast.SReturn):
+        p.line("return " + ", ".join(spec_expr_str(e) for e in s.exprs)
+               if s.exprs else "return")
+    elif isinstance(s, sast.SBreak):
+        p.line("break")
+    elif isinstance(s, sast.SExprStat):
+        p.line(spec_expr_str(s.expr))
+    elif isinstance(s, sast.SDefer):
+        p.line(f"defer {spec_expr_str(s.call)}")
+    else:
+        p.line(f"-- <{type(s).__name__}>")
+
+
+def spec_expr_str(e: sast.SExpr) -> str:
+    """One-line rendering of a specialized expression."""
+    if isinstance(e, sast.SConst):
+        if isinstance(e.value, float) and e.type is T.float32:
+            return f"{e.value!r}f"
+        return repr(e.value) if not isinstance(e.value, bool) \
+            else ("true" if e.value else "false")
+    if isinstance(e, sast.SString):
+        return repr(e.value)
+    if isinstance(e, sast.SNull):
+        return "nil"
+    if isinstance(e, sast.SVar):
+        return e.symbol.name
+    if isinstance(e, sast.SGlobal):
+        return e.glob.name
+    if isinstance(e, sast.SFuncRef):
+        return e.func.name
+    if isinstance(e, sast.STypeRef):
+        return f"[{e.type}]"
+    if isinstance(e, sast.SCast):
+        return f"[{e.type}]({spec_expr_str(e.expr)})"
+    if isinstance(e, sast.SApply):
+        return (f"{spec_expr_str(e.fn)}"
+                f"({', '.join(spec_expr_str(a) for a in e.args)})")
+    if isinstance(e, sast.SMethodCall):
+        return (f"{spec_expr_str(e.obj)}:{e.name}"
+                f"({', '.join(spec_expr_str(a) for a in e.args)})")
+    if isinstance(e, sast.SSelect):
+        return f"{spec_expr_str(e.obj)}.{e.field}"
+    if isinstance(e, sast.SIndex):
+        return f"{spec_expr_str(e.obj)}[{spec_expr_str(e.index)}]"
+    if isinstance(e, sast.SUnOp):
+        if e.op in ("&", "@"):
+            return f"{e.op}{spec_expr_str(e.operand)}"
+        return f"{e.op} {spec_expr_str(e.operand)}" if e.op == "not" \
+            else f"{e.op}{spec_expr_str(e.operand)}"
+    if isinstance(e, sast.SBinOp):
+        return f"({spec_expr_str(e.lhs)} {e.op} {spec_expr_str(e.rhs)})"
+    if isinstance(e, sast.SCtor):
+        prefix = str(e.type) if e.type is not None else ""
+        fields = ", ".join(
+            (f"{f.name} = " if f.name else "") + spec_expr_str(f.value)
+            for f in e.fields)
+        return f"{prefix} {{ {fields} }}"
+    if isinstance(e, sast.SLetIn):
+        return "(quote ... in " + \
+            ", ".join(spec_expr_str(x) for x in e.exprs) + ")"
+    if isinstance(e, sast.SIntrinsic):
+        return f"{e.name}({', '.join(spec_expr_str(a) for a in e.args)})"
+    if isinstance(e, sast.SPyCallback):
+        return f"<callback {e.callback.name}>"
+    return f"<{type(e).__name__}>"
+
+
+# ===========================================================================
+# typed trees
+# ===========================================================================
+
+def format_typed(fn) -> str:
+    """Render a typechecked TerraFunction's typed IR, with every
+    expression's type and the inserted conversions visible."""
+    fn.ensure_typechecked()
+    typed = fn.typed
+    if typed is None:
+        return f"terra {fn.name} :: {fn.gettype()} -- external"
+    p = _Printer()
+    params = ", ".join(
+        f"{s.name} : {t}"
+        for s, t in zip(typed.param_symbols, typed.type.parameters))
+    p.line(f"terra {fn.name}({params}) : {typed.type.returntype}")
+    p.depth += 1
+    _typed_block(p, typed.body)
+    p.depth -= 1
+    p.line("end")
+    return p.render()
+
+
+def _typed_block(p: _Printer, block: tast.TBlock) -> None:
+    for stat in block.statements:
+        _typed_stat(p, stat)
+
+
+def _typed_stat(p: _Printer, s: tast.TStat) -> None:
+    if isinstance(s, tast.TVarDecl):
+        names = ", ".join(f"{sym.name} : {ty}"
+                          for sym, ty in zip(s.symbols, s.types))
+        if s.inits is not None:
+            p.line(f"var {names} = "
+                   f"{', '.join(typed_expr_str(e) for e in s.inits)}")
+        else:
+            p.line(f"var {names} -- zero-initialized")
+    elif isinstance(s, tast.TAssign):
+        p.line(f"{', '.join(typed_expr_str(e) for e in s.lhs)} = "
+               f"{', '.join(typed_expr_str(e) for e in s.rhs)}")
+    elif isinstance(s, tast.TIf):
+        for i, (cond, body) in enumerate(s.branches):
+            p.line(f"{'if' if i == 0 else 'elseif'} "
+                   f"{typed_expr_str(cond)} then")
+            p.depth += 1
+            _typed_block(p, body)
+            p.depth -= 1
+        if s.orelse is not None:
+            p.line("else")
+            p.depth += 1
+            _typed_block(p, s.orelse)
+            p.depth -= 1
+        p.line("end")
+    elif isinstance(s, tast.TWhile):
+        p.line(f"while {typed_expr_str(s.cond)} do")
+        p.depth += 1
+        _typed_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, tast.TRepeat):
+        p.line("repeat")
+        p.depth += 1
+        _typed_block(p, s.body)
+        p.depth -= 1
+        p.line(f"until {typed_expr_str(s.cond)}")
+    elif isinstance(s, tast.TForNum):
+        step = f", {typed_expr_str(s.step)}" if s.step is not None else ""
+        p.line(f"for {s.symbol.name} : {s.var_type} = "
+               f"{typed_expr_str(s.start)}, {typed_expr_str(s.limit)}{step} do")
+        p.depth += 1
+        _typed_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, tast.TDoStat):
+        p.line("do")
+        p.depth += 1
+        _typed_block(p, s.body)
+        p.depth -= 1
+        p.line("end")
+    elif isinstance(s, tast.TReturn):
+        p.line("return" if s.expr is None
+               else f"return {typed_expr_str(s.expr)}")
+    elif isinstance(s, tast.TBreak):
+        p.line("break")
+    elif isinstance(s, tast.TExprStat):
+        p.line(typed_expr_str(s.expr))
+    else:
+        p.line(f"-- <{type(s).__name__}>")
+
+
+def typed_expr_str(e: tast.TExpr) -> str:
+    if isinstance(e, tast.TConst):
+        return repr(e.value) if not isinstance(e.value, bool) \
+            else ("true" if e.value else "false")
+    if isinstance(e, tast.TString):
+        return repr(e.value)
+    if isinstance(e, tast.TNull):
+        return f"nil:{e.type}"
+    if isinstance(e, tast.TVar):
+        return e.symbol.name
+    if isinstance(e, tast.TGlobal):
+        return e.glob.name
+    if isinstance(e, tast.TFuncLit):
+        return e.func.name
+    if isinstance(e, tast.TCallback):
+        return f"<callback {e.callback.name}>"
+    if isinstance(e, tast.TCast):
+        return f"[{e.type}:{e.kind}]({typed_expr_str(e.expr)})"
+    if isinstance(e, tast.TCall):
+        return (f"{typed_expr_str(e.fn)}"
+                f"({', '.join(typed_expr_str(a) for a in e.args)})")
+    if isinstance(e, tast.TSelect):
+        return f"{typed_expr_str(e.obj)}.{e.field}"
+    if isinstance(e, (tast.TIndex, tast.TVectorIndex)):
+        return f"{typed_expr_str(e.obj)}[{typed_expr_str(e.index)}]"
+    if isinstance(e, tast.TDeref):
+        return f"@{typed_expr_str(e.ptr)}"
+    if isinstance(e, tast.TAddressOf):
+        return f"&{typed_expr_str(e.operand)}"
+    if isinstance(e, tast.TUnOp):
+        return f"{e.op}({typed_expr_str(e.operand)})"
+    if isinstance(e, tast.TBinOp):
+        return f"({typed_expr_str(e.lhs)} {e.op} {typed_expr_str(e.rhs)})"
+    if isinstance(e, tast.TLogical):
+        return f"({typed_expr_str(e.lhs)} {e.op} {typed_expr_str(e.rhs)})"
+    if isinstance(e, tast.TCtor):
+        return (f"{e.type} {{ "
+                f"{', '.join(typed_expr_str(x) for x in e.inits)} }}")
+    if isinstance(e, tast.TLetIn):
+        return f"({{...}} in {typed_expr_str(e.expr)})"
+    if isinstance(e, tast.TIntrinsic):
+        return f"{e.name}({', '.join(typed_expr_str(a) for a in e.args)})"
+    return f"<{type(e).__name__}>"

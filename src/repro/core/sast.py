@@ -1,0 +1,375 @@
+"""Specialized Terra trees — the paper's ``ē`` terms.
+
+Produced by eager specialization (:mod:`repro.core.specialize`), consumed
+by the lazy typechecker.  In a specialized tree:
+
+* every variable is a resolved :class:`~repro.core.symbols.Symbol`,
+* every escape has been evaluated and its result embedded,
+* every meta-namespace lookup (``std.malloc``) has been resolved,
+* Lua/Python values have become constants, function references, global
+  references, types (for casts) or spliced quotations.
+
+Specialized trees are still untyped: types appear on ``SCast``/``SVarDecl``
+annotations only where the programmer wrote them; the typechecker computes
+the rest when the function is first called (paper §4.1, lazy typechecking).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import SourceLocation
+from . import types as T
+from .symbols import Symbol
+
+
+class SNode:
+    _fields: tuple[str, ...] = ()
+
+    def __init__(self, location: Optional[SourceLocation] = None):
+        self.location = location
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{f}={getattr(self, f, None)!r}" for f in self._fields)
+        return f"{type(self).__name__}({parts})"
+
+
+# -- expressions -------------------------------------------------------------
+
+class SExpr(SNode):
+    pass
+
+
+class SConst(SExpr):
+    """A literal / embedded meta-language constant.  ``type`` may be None
+    (e.g. a bare Lua/Python int) and is then defaulted by the typechecker."""
+
+    _fields = ("value", "type")
+
+    def __init__(self, value, type: Optional[T.Type] = None,  # noqa: A002
+                 location=None):
+        super().__init__(location)
+        self.value = value
+        self.type = type
+
+
+class SString(SExpr):
+    """A string constant (becomes ``rawstring`` pointing at static data)."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: str, location=None):
+        super().__init__(location)
+        self.value = value
+
+
+class SNull(SExpr):
+    """``nil`` — the null pointer; adopts any pointer type from context."""
+
+
+class SVar(SExpr):
+    _fields = ("symbol",)
+
+    def __init__(self, symbol: Symbol, location=None):
+        super().__init__(location)
+        self.symbol = symbol
+
+
+class SGlobal(SExpr):
+    """A reference to a Terra global variable."""
+
+    _fields = ("glob",)
+
+    def __init__(self, glob, location=None):
+        super().__init__(location)
+        self.glob = glob
+
+
+class SFuncRef(SExpr):
+    """A direct reference to a Terra function (the paper's ``l``)."""
+
+    _fields = ("func",)
+
+    def __init__(self, func, location=None):
+        super().__init__(location)
+        self.func = func
+
+
+class STypeRef(SExpr):
+    """A Terra type in expression position — only legal as a call target
+    (cast) or constructor prefix; anything else is a type error."""
+
+    _fields = ("type",)
+
+    def __init__(self, type: T.Type, location=None):  # noqa: A002
+        super().__init__(location)
+        self.type = type
+
+
+class SCast(SExpr):
+    """``[&int8](e)`` / ``T(e)`` — an explicit conversion."""
+
+    _fields = ("type", "expr")
+
+    def __init__(self, type: T.Type, expr: SExpr, location=None):  # noqa: A002
+        super().__init__(location)
+        self.type = type
+        self.expr = expr
+
+
+class SApply(SExpr):
+    _fields = ("fn", "args")
+
+    def __init__(self, fn: SExpr, args: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.fn = fn
+        self.args = list(args)
+
+
+class SMethodCall(SExpr):
+    """``obj:m(args)`` — resolved against the static type of ``obj`` during
+    typechecking (paper §4.1: desugars to ``[T.methods.m](obj, args)``)."""
+
+    _fields = ("obj", "name", "args")
+
+    def __init__(self, obj: SExpr, name: str, args: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.obj = obj
+        self.name = name
+        self.args = list(args)
+
+
+class SSelect(SExpr):
+    """Struct field access (meta-namespace selects are already resolved)."""
+
+    _fields = ("obj", "field")
+
+    def __init__(self, obj: SExpr, field: str, location=None):
+        super().__init__(location)
+        self.obj = obj
+        self.field = field
+
+
+class SIndex(SExpr):
+    _fields = ("obj", "index")
+
+    def __init__(self, obj: SExpr, index: SExpr, location=None):
+        super().__init__(location)
+        self.obj = obj
+        self.index = index
+
+
+class SUnOp(SExpr):
+    _fields = ("op", "operand")
+
+    def __init__(self, op: str, operand: SExpr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+
+class SBinOp(SExpr):
+    _fields = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: SExpr, rhs: SExpr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class SCtorField:
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: Optional[str], value: SExpr):
+        self.name = name
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"SCtorField({self.name!r}, {self.value!r})"
+
+
+class SCtor(SExpr):
+    """Struct construction ``T { ... }`` / anonymous ``{ ... }``."""
+
+    _fields = ("type", "fields")
+
+    def __init__(self, type: Optional[T.Type],  # noqa: A002
+                 fields: Sequence[SCtorField], location=None):
+        super().__init__(location)
+        self.type = type
+        self.fields = list(fields)
+
+
+class SLetIn(SExpr):
+    """A statements-quote with an ``in`` clause spliced into expression
+    position: run the block, yield the expression(s)."""
+
+    _fields = ("block", "exprs")
+
+    def __init__(self, block: "SBlock", exprs: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.block = block
+        self.exprs = list(exprs)
+
+
+class SIntrinsic(SExpr):
+    """A backend intrinsic (prefetch, fence...).  ``name`` selects the
+    lowering; args are ordinary expressions."""
+
+    _fields = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = list(args)
+
+
+class SPyCallback(SExpr):
+    """A Python function embedded with an explicit Terra function type
+    (the FFI's ``terralib.cast(fntype, luafn)`` analog)."""
+
+    _fields = ("callback",)
+
+    def __init__(self, callback, location=None):
+        super().__init__(location)
+        self.callback = callback
+
+
+# -- statements ----------------------------------------------------------------
+
+class SStat(SNode):
+    pass
+
+
+class SBlock(SNode):
+    _fields = ("statements",)
+
+    def __init__(self, statements: Sequence[SStat], location=None):
+        super().__init__(location)
+        self.statements = list(statements)
+
+
+class SVarDecl(SStat):
+    """``var s1 : t1, s2 : t2 = e1, e2`` — symbols are already unique."""
+
+    _fields = ("symbols", "types", "inits")
+
+    def __init__(self, symbols: Sequence[Symbol],
+                 types: Sequence[Optional[T.Type]],
+                 inits: Optional[Sequence[SExpr]], location=None):
+        super().__init__(location)
+        self.symbols = list(symbols)
+        self.types = list(types)
+        self.inits = list(inits) if inits is not None else None
+
+
+class SAssign(SStat):
+    _fields = ("lhs", "rhs")
+
+    def __init__(self, lhs: Sequence[SExpr], rhs: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.lhs = list(lhs)
+        self.rhs = list(rhs)
+
+
+class SIf(SStat):
+    _fields = ("branches", "orelse")
+
+    def __init__(self, branches: Sequence[tuple[SExpr, SBlock]],
+                 orelse: Optional[SBlock], location=None):
+        super().__init__(location)
+        self.branches = list(branches)
+        self.orelse = orelse
+
+
+class SWhile(SStat):
+    _fields = ("cond", "body")
+
+    def __init__(self, cond: SExpr, body: SBlock, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+
+class SRepeat(SStat):
+    _fields = ("body", "cond")
+
+    def __init__(self, body: SBlock, cond: SExpr, location=None):
+        super().__init__(location)
+        self.body = body
+        self.cond = cond
+
+
+class SForNum(SStat):
+    """Half-open numeric for over ``[start, limit)`` with optional step."""
+
+    _fields = ("symbol", "start", "limit", "step", "body")
+
+    def __init__(self, symbol: Symbol, start: SExpr, limit: SExpr,
+                 step: Optional[SExpr], body: SBlock, location=None):
+        super().__init__(location)
+        self.symbol = symbol
+        self.start = start
+        self.limit = limit
+        self.step = step
+        self.body = body
+
+
+class SDoStat(SStat):
+    """``do ... end`` — a nested scope."""
+
+    _fields = ("body",)
+
+    def __init__(self, body: SBlock, location=None):
+        super().__init__(location)
+        self.body = body
+
+
+class SReturn(SStat):
+    _fields = ("exprs",)
+
+    def __init__(self, exprs: Sequence[SExpr], location=None):
+        super().__init__(location)
+        self.exprs = list(exprs)
+
+
+class SBreak(SStat):
+    pass
+
+
+class SExprStat(SStat):
+    _fields = ("expr",)
+
+    def __init__(self, expr: SExpr, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+
+class SDefer(SStat):
+    _fields = ("call",)
+
+    def __init__(self, call: SExpr, location=None):
+        super().__init__(location)
+        self.call = call
+
+
+def copy_tree(node):
+    """Deep-copy a specialized tree (symbols are shared, nodes are not).
+
+    Splicing the same quote into two places must not alias mutable nodes,
+    because the typechecker annotates trees in place.
+    """
+    if isinstance(node, SNode):
+        clone = object.__new__(type(node))
+        clone.location = node.location
+        for field in node._fields:
+            setattr(clone, field, copy_tree(getattr(node, field)))
+        return clone
+    if isinstance(node, list):
+        return [copy_tree(x) for x in node]
+    if isinstance(node, tuple):
+        return tuple(copy_tree(x) for x in node)
+    if isinstance(node, SCtorField):
+        return SCtorField(node.name, copy_tree(node.value))
+    return node  # symbols, types, constants, functions are shared

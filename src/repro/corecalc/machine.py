@@ -1,0 +1,304 @@
+"""The big-step semantics of Terra Core — paper Figures 1–3.
+
+Three judgments, implemented as three evaluators over a shared state
+``Σ = (Γ, S, F)``:
+
+* ``eval_lua``    — ``e Σ →L v Σ'``  (Figure 1: LBAS..LTAPP)
+* ``specialize``  — ``ê Σ →S ē Σ'``  (Figure 2: SBAS..SESC)
+* ``eval_terra``  — ``ē F →T v``     (Figure 3: TBAS..TLET)
+
+Key fidelity points, each tested in tests/corecalc/:
+
+* LTDEFN specializes the body **eagerly** at definition time and renames
+  the formal parameter to a fresh symbol (hygiene);
+* SLET renames ``tlet``-bound variables to fresh symbols (hygiene);
+* SVAR resolves variables through the *shared* environment Γ: a name may
+  denote a Lua value (embedded as a constant/spliced term) or a renamed
+  Terra variable;
+* LTAPP typechecks the callee's connected component lazily, right before
+  the call (Figure 4), and passes only base values;
+* eval_terra runs with **no access** to Γ or S — separate evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import LinkError, SpecializeError, TerraError, TypeCheckError
+from . import terms as t
+
+
+class CoreError(TerraError):
+    pass
+
+
+@dataclass
+class State:
+    """Σ = Γ, S, F.  Γ is per-evaluation (passed separately); S and F are
+    threaded through."""
+    store: dict = field(default_factory=dict)        # S: addr -> value
+    functions: dict = field(default_factory=dict)    # F: l -> FuncDef | None
+    _addr: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _sym: itertools.count = field(default_factory=lambda: itertools.count(1))
+    _fun: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def fresh_addr(self) -> int:
+        return next(self._addr)
+
+    def fresh_symbol(self) -> int:
+        return next(self._sym)
+
+    def fresh_function(self) -> int:
+        l = next(self._fun)  # noqa: E741 - the paper's metavariable
+        self.functions[l] = t.UNDEFINED
+        return l
+
+
+EMPTY_ENV: dict = {}
+
+
+def bind(env: dict, name: str, addr: int) -> dict:
+    new = dict(env)
+    new[name] = addr
+    return new
+
+
+# ===========================================================================
+# →L : Lua evaluation (Figure 1)
+# ===========================================================================
+
+def eval_lua(e: t.LuaTerm, env: dict, state: State):
+    """``e Σ →L v Σ`` (the state is mutated in place; Γ is ``env``)."""
+    if isinstance(e, t.LBase):                                   # LBAS
+        return e.value
+    if isinstance(e, t.LType):
+        return e.type
+    if isinstance(e, t.LVar):                                    # LVAR
+        if e.name not in env:
+            raise CoreError(f"unbound Lua variable {e.name!r}")
+        return state.store[env[e.name]]
+    if isinstance(e, t.LLet):                                    # LLET
+        value = eval_lua(e.init, env, state)
+        addr = state.fresh_addr()
+        state.store[addr] = value
+        return eval_lua(e.body, bind(env, e.name, addr), state)
+    if isinstance(e, t.LAssign):                                 # LASN
+        if e.name not in env:
+            raise CoreError(f"assignment to unbound variable {e.name!r}")
+        value = eval_lua(e.value, env, state)
+        state.store[env[e.name]] = value
+        return value
+    if isinstance(e, t.LFun):                                    # LFUN
+        return t.Closure(dict(env), e.param, e.body)
+    if isinstance(e, t.LTDecl):                                  # LTDECL
+        return t.SFunc(state.fresh_function())
+    if isinstance(e, t.LQuote):                                  # LTQUOTE
+        return specialize(e.body, env, state)
+    if isinstance(e, t.LTDefn):                                  # LTDEFN
+        return _eval_tdefn(e, env, state)
+    if isinstance(e, t.LApp):
+        return _eval_app(e, env, state)
+    raise CoreError(f"not a Lua term: {e!r}")
+
+
+def _eval_tdefn(e: t.LTDefn, env: dict, state: State):
+    target = eval_lua(e.target, env, state)
+    if not isinstance(target, t.SFunc):
+        raise CoreError("ter: target is not a Terra function address")
+    if state.functions.get(target.address) is not t.UNDEFINED:
+        raise CoreError(
+            f"ter: function l{target.address} is already defined "
+            f"(definitions are immutable)")
+    ptype = eval_lua(e.param_type, env, state)
+    rtype = eval_lua(e.return_type, env, state)
+    if not isinstance(ptype, t.CoreType) or not isinstance(rtype, t.CoreType):
+        raise SpecializeError("ter: annotations must evaluate to Terra types")
+    # hygiene: the formal parameter is renamed to a fresh symbol, which is
+    # what Lua code evaluated during specialization observes
+    sym = state.fresh_symbol()
+    addr = state.fresh_addr()
+    state.store[addr] = t.SVar(sym)
+    body = specialize(e.body, bind(env, e.param, addr), state)
+    state.functions[target.address] = t.FuncDef(sym, ptype, rtype, body)
+    return target
+
+
+def _eval_app(e: t.LApp, env: dict, state: State):
+    fn = eval_lua(e.fn, env, state)
+    arg = eval_lua(e.arg, env, state)
+    if isinstance(fn, t.Closure):                                # LAPP
+        addr = state.fresh_addr()
+        state.store[addr] = arg
+        return eval_lua(fn.body, bind(fn.env, fn.param, addr), state)
+    if isinstance(fn, t.SFunc):                                  # LTAPP
+        ftype = typecheck_function(fn.address, state)
+        if not _is_base(arg):
+            raise CoreError(
+                "LTAPP: only base values may cross into Terra")
+        if ftype.param is not t.B:
+            raise TypeCheckError(
+                "LTAPP: Terra Core functions called from Lua take base "
+                "values")
+        return call_terra(fn.address, arg, state)
+    raise CoreError(f"cannot apply non-function value {fn!r}")
+
+
+def _is_base(v) -> bool:
+    return isinstance(v, (int, float, bool, str))
+
+
+# ===========================================================================
+# →S : specialization (Figure 2)
+# ===========================================================================
+
+def specialize(e: t.TerraTerm, env: dict, state: State) -> t.SpecTerm:
+    if isinstance(e, t.TBase):                                   # SBAS
+        return t.SBase(e.value)
+    if isinstance(e, t.TVar):                                    # SVAR
+        if e.name not in env:
+            raise SpecializeError(f"unbound variable {e.name!r} in Terra code")
+        value = state.store[env[e.name]]
+        return _embed(value)
+    if isinstance(e, t.TApp):                                    # SAPP
+        fn = specialize(e.fn, env, state)
+        arg = specialize(e.arg, env, state)
+        return t.SApp(fn, arg)
+    if isinstance(e, t.TLet):                                    # SLET
+        type_value = eval_lua(e.type_expr, env, state)
+        if not isinstance(type_value, t.CoreType):
+            raise SpecializeError("tlet: annotation is not a Terra type")
+        init = specialize(e.init, env, state)
+        sym = state.fresh_symbol()                  # hygiene: fresh name
+        addr = state.fresh_addr()
+        state.store[addr] = t.SVar(sym)
+        body = specialize(e.body, bind(env, e.name, addr), state)
+        return t.SLet(sym, type_value, init, body)
+    if isinstance(e, t.TEscape):                                 # SESC
+        value = eval_lua(e.code, env, state)
+        return _embed(value)
+    raise CoreError(f"not a Terra term: {e!r}")
+
+
+def _embed(value) -> t.SpecTerm:
+    """The side-condition of SESC/SVAR: the value must be (embeddable as)
+    a specialized Terra term."""
+    if isinstance(value, t.SpecTerm):
+        return value
+    if isinstance(value, t.SFunc):
+        return value
+    if _is_base(value):
+        return t.SBase(value)
+    raise SpecializeError(
+        f"value {value!r} is not a Terra term (escapes must produce base "
+        f"values, function addresses, or specialized terms)")
+
+
+# ===========================================================================
+# typechecking (Figure 4: TYFUN1 / TYFUN2)
+# ===========================================================================
+
+def typecheck_function(address: int, state: State,
+                       assumptions: Optional[dict] = None) -> t.Arrow:
+    """Typecheck ``l`` and (transitively) every function it references —
+    the connected component rule.  ``assumptions`` is the paper's F̄: the
+    types already assumed for in-progress functions, which is what makes
+    mutually recursive components check (TYFUN2)."""
+    if assumptions is None:
+        assumptions = {}
+    if address in assumptions:
+        return assumptions[address]
+    fdef = state.functions.get(address)
+    if fdef is t.UNDEFINED:
+        raise LinkError(
+            f"function l{address} is declared but not defined")
+    ftype = t.Arrow(fdef.param_type, fdef.return_type)
+    assumptions[address] = ftype                       # TYFUN2 assumption
+    env = {fdef.symbol: fdef.param_type}
+    body_type = _type_of(fdef.body, env, state, assumptions)
+    if body_type != fdef.return_type:
+        raise TypeCheckError(
+            f"function l{address}: body has type {body_type}, declared "
+            f"{fdef.return_type}")
+    return ftype
+
+
+def _type_of(e: t.SpecTerm, env: dict, state: State,
+             assumptions: dict) -> t.CoreType:
+    if isinstance(e, t.SBase):
+        return t.B
+    if isinstance(e, t.SVar):
+        if e.symbol not in env:
+            raise TypeCheckError(f"variable x{e.symbol} not in scope")
+        return env[e.symbol]
+    if isinstance(e, t.SFunc):
+        return typecheck_function(e.address, state, assumptions)
+    if isinstance(e, t.SLet):
+        init_type = _type_of(e.init, env, state, assumptions)
+        if init_type != e.type:
+            raise TypeCheckError(
+                f"tlet: initializer has type {init_type}, annotation says "
+                f"{e.type}")
+        inner = dict(env)
+        inner[e.symbol] = e.type
+        return _type_of(e.body, inner, state, assumptions)
+    if isinstance(e, t.SApp):
+        fn_type = _type_of(e.fn, env, state, assumptions)
+        arg_type = _type_of(e.arg, env, state, assumptions)
+        if not isinstance(fn_type, t.Arrow):
+            raise TypeCheckError(f"cannot apply value of type {fn_type}")
+        if fn_type.param != arg_type:
+            raise TypeCheckError(
+                f"argument type {arg_type} does not match parameter "
+                f"{fn_type.param}")
+        return fn_type.result
+    raise CoreError(f"not a specialized term: {e!r}")
+
+
+# ===========================================================================
+# →T : Terra evaluation (Figure 3)
+# ===========================================================================
+
+def call_terra(address: int, arg, state: State):
+    """``l(b)`` after typechecking: run the function body in an
+    environment containing only its parameter — independently of Γ and S
+    (separate evaluation)."""
+    fdef = state.functions[address]
+    assert fdef is not t.UNDEFINED
+    return eval_terra(fdef.body, {fdef.symbol: arg}, state.functions)
+
+
+def eval_terra(e: t.SpecTerm, tenv: dict, functions: dict):
+    if isinstance(e, t.SBase):                                   # TBAS
+        return e.value
+    if isinstance(e, t.SVar):                                    # TVAR
+        return tenv[e.symbol]
+    if isinstance(e, t.SFunc):                                   # TFUN
+        return e
+    if isinstance(e, t.SLet):                                    # TLET
+        value = eval_terra(e.init, tenv, functions)
+        inner = dict(tenv)
+        inner[e.symbol] = value
+        return eval_terra(e.body, inner, functions)
+    if isinstance(e, t.SApp):                                    # TAPP
+        fn = eval_terra(e.fn, tenv, functions)
+        arg = eval_terra(e.arg, tenv, functions)
+        if not isinstance(fn, t.SFunc):
+            raise CoreError(f"TAPP: {fn!r} is not a function address")
+        fdef = functions[fn.address]
+        if fdef is t.UNDEFINED:
+            raise LinkError(f"TAPP: l{fn.address} is undefined")
+        return eval_terra(fdef.body, {fdef.symbol: arg}, functions)
+    raise CoreError(f"not a specialized term: {e!r}")
+
+
+# ===========================================================================
+# convenience driver
+# ===========================================================================
+
+def run(program: t.LuaTerm):
+    """Evaluate a closed Lua Core program; returns (value, state)."""
+    state = State()
+    value = eval_lua(program, EMPTY_ENV, state)
+    return value, state

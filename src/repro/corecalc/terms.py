@@ -1,0 +1,228 @@
+"""Terra Core — the term grammar of paper Section 3.
+
+The paper formalizes the essence of the Lua/Terra interaction as a core
+calculus.  This module encodes its three term levels exactly:
+
+Lua expressions ``e``::
+
+    e ::= b | T | x | let x = e in e | x := e | e(e)
+        | fun(x){e} | tdecl | ter e(x : e) : e { ê } | 'ê
+
+Terra expressions ``ê`` (unspecialized — may contain escapes)::
+
+    ê ::= b | x | ê(ê) | tlet x : ê = ê in ê | [e]
+
+Specialized Terra expressions ``ē`` (the results of →S)::
+
+    ē ::= b | x̄ | ē(ē) | tlet x̄ : T = ē in ē | l
+
+Lua values ``v``::
+
+    v ::= b | l | T | (Γ, x, e) | ē
+
+Types ``T ::= B | T -> T`` — the calculus passes only base values across
+the Lua/Terra boundary (LTAPP), as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+# -- types -----------------------------------------------------------------
+
+class CoreType:
+    pass
+
+
+@dataclass(frozen=True)
+class Base(CoreType):
+    """The base type B (inhabited by the base values b)."""
+
+    def __str__(self):
+        return "B"
+
+
+@dataclass(frozen=True)
+class Arrow(CoreType):
+    param: CoreType
+    result: CoreType
+
+    def __str__(self):
+        return f"({self.param} -> {self.result})"
+
+
+B = Base()
+
+
+# -- Lua terms ----------------------------------------------------------------
+
+class LuaTerm:
+    pass
+
+
+@dataclass(frozen=True)
+class LBase(LuaTerm):
+    value: object  # a base value b
+
+
+@dataclass(frozen=True)
+class LType(LuaTerm):
+    type: CoreType
+
+
+@dataclass(frozen=True)
+class LVar(LuaTerm):
+    name: str
+
+
+@dataclass(frozen=True)
+class LLet(LuaTerm):
+    name: str
+    init: LuaTerm
+    body: LuaTerm
+
+
+@dataclass(frozen=True)
+class LAssign(LuaTerm):
+    name: str
+    value: LuaTerm
+
+
+@dataclass(frozen=True)
+class LApp(LuaTerm):
+    fn: LuaTerm
+    arg: LuaTerm
+
+
+@dataclass(frozen=True)
+class LFun(LuaTerm):
+    param: str
+    body: LuaTerm
+
+
+@dataclass(frozen=True)
+class LTDecl(LuaTerm):
+    """``tdecl`` — allocate a fresh, undefined Terra function address."""
+
+
+@dataclass(frozen=True)
+class LTDefn(LuaTerm):
+    """``ter e1(x : e2) : e3 { ê }`` — fill in a declaration: e1 must
+    evaluate to an undefined address, e2/e3 to types; ê is specialized
+    eagerly (rule LTDEFN)."""
+    target: LuaTerm
+    param: str
+    param_type: LuaTerm
+    return_type: LuaTerm
+    body: "TerraTerm"
+
+
+@dataclass(frozen=True)
+class LQuote(LuaTerm):
+    """``'ê`` — specialize ê now, yield the specialized term as a value."""
+    body: "TerraTerm"
+
+
+def seq(first: LuaTerm, second: LuaTerm) -> LuaTerm:
+    """``e1; e2`` — the paper's sugar ``let _ = e1 in e2``."""
+    return LLet("_", first, second)
+
+
+# -- Terra terms (unspecialized) ------------------------------------------------
+
+class TerraTerm:
+    pass
+
+
+@dataclass(frozen=True)
+class TBase(TerraTerm):
+    value: object
+
+
+@dataclass(frozen=True)
+class TVar(TerraTerm):
+    name: str
+
+
+@dataclass(frozen=True)
+class TApp(TerraTerm):
+    fn: TerraTerm
+    arg: TerraTerm
+
+
+@dataclass(frozen=True)
+class TLet(TerraTerm):
+    """``tlet x : ê_type = ê_init in ê_body``"""
+    name: str
+    type_expr: LuaTerm         # type annotations are Lua expressions
+    init: TerraTerm
+    body: TerraTerm
+
+
+@dataclass(frozen=True)
+class TEscape(TerraTerm):
+    """``[e]`` — evaluate Lua code during specialization."""
+    code: LuaTerm
+
+
+# -- specialized Terra terms ------------------------------------------------------
+
+class SpecTerm:
+    pass
+
+
+@dataclass(frozen=True)
+class SBase(SpecTerm):
+    value: object
+
+
+@dataclass(frozen=True)
+class SVar(SpecTerm):
+    """A renamed variable x̄ (fresh symbols; integers in this encoding)."""
+    symbol: int
+
+
+@dataclass(frozen=True)
+class SApp(SpecTerm):
+    fn: SpecTerm
+    arg: SpecTerm
+
+
+@dataclass(frozen=True)
+class SLet(SpecTerm):
+    symbol: int
+    type: CoreType
+    init: SpecTerm
+    body: SpecTerm
+
+
+@dataclass(frozen=True)
+class SFunc(SpecTerm):
+    """A Terra function address l."""
+    address: int
+
+
+#: a Lua value: base | address (SFunc) | CoreType | Closure | SpecTerm
+Value = Union[object]
+
+
+@dataclass(frozen=True)
+class Closure:
+    """``(Γ, x, e)`` — a Lua closure."""
+    env: "object"     # Gamma (immutable mapping name -> store address)
+    param: str
+    body: LuaTerm
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """A defined Terra function ``(x̄, T1, T2, ē)``."""
+    symbol: int
+    param_type: CoreType
+    return_type: CoreType
+    body: SpecTerm
+
+
+UNDEFINED = None  # the function store maps undefined addresses to None

@@ -1,0 +1,89 @@
+"""Error hierarchy for the Terra reproduction.
+
+The paper (Section 4.1, "Eager specialization with lazy typechecking")
+enumerates the distinct places a combined Lua-Terra program can go wrong:
+
+* while *specializing*: an undefined variable, an escape that evaluates to
+  a value that is not a Terra term, or a type expression that evaluates to
+  a value that is not a Terra type;
+* while *typechecking*: an ordinary type error;
+* while *linking*: a reference to a declared-but-undefined function;
+* at *runtime*: traps such as out-of-bounds accesses (interpreter only).
+
+Each of those stages gets its own exception class so callers (and tests)
+can distinguish them.
+"""
+
+from __future__ import annotations
+
+
+class TerraError(Exception):
+    """Base class for every error raised by this package."""
+
+    def __init__(self, message: str, location: "SourceLocation | None" = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class TerraSyntaxError(TerraError):
+    """The Terra source text could not be tokenized or parsed."""
+
+
+class SpecializeError(TerraError):
+    """Eager specialization failed (Section 4.1).
+
+    Raised for undefined variables, escapes yielding non-Terra values, and
+    type expressions yielding non-types.
+    """
+
+
+class TypeCheckError(TerraError):
+    """Lazy typechecking of a Terra function failed."""
+
+
+class LinkError(TerraError):
+    """A called function's connected component contains an undefined
+    declaration (paper Figure 4 requires every reachable function to be
+    defined before execution)."""
+
+
+class CompileError(TerraError):
+    """The backend failed to translate or build the typed IR."""
+
+
+class TrapError(TerraError):
+    """A runtime trap in interpreted Terra code (bad pointer, OOB, ...)."""
+
+
+class FFIError(TerraError):
+    """A Python value could not be converted to/from a Terra value."""
+
+
+class SourceLocation:
+    """A point in Terra source text, carried on AST nodes and errors."""
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str, line: int, column: int):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.filename!r}, {self.line}, {self.column})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and self.filename == other.filename
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))

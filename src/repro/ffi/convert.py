@@ -1,0 +1,145 @@
+"""Python ↔ Terra value conversion at call boundaries.
+
+The analog of the paper's use of LuaJIT's FFI: "we use LuaJIT's foreign
+function interface to translate values between Lua and Terra both along
+function call boundaries and during specialization."  Here:
+
+* Python ints/floats/bools convert to the corresponding primitives
+  (with C wrap-around semantics for out-of-range integers),
+* ``str``/``bytes`` convert to ``rawstring`` (NUL-terminated buffers kept
+  alive for the duration of the call),
+* NumPy arrays convert to pointers to their element type — the main way
+  benchmark data reaches Terra kernels,
+* dicts/tuples convert to structs when they provide the required fields
+  (the paper: "Lua tables can be converted into structs when they contain
+  the required fields"),
+* pointers and aggregates returned to Python are wrapped as cdata.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from ..core import types as T
+from ..errors import FFIError
+from ..memory import layout
+from .cdata import CPointer, CStruct
+
+_NUMPY_DTYPES = {
+    "int8": T.int8, "int16": T.int16, "int32": T.int32, "int64": T.int64,
+    "uint8": T.uint8, "uint16": T.uint16, "uint32": T.uint32,
+    "uint64": T.uint64, "float32": T.float32, "float64": T.float64,
+    "bool": T.bool_,
+}
+
+
+def numpy_elem_type(arr: np.ndarray) -> T.Type:
+    ty = _NUMPY_DTYPES.get(arr.dtype.name)
+    if ty is None:
+        raise FFIError(f"no Terra type for numpy dtype {arr.dtype}")
+    return ty
+
+
+def python_to_blob(value, ty: T.Type) -> bytes:
+    """Serialize a Python value as the in-memory bytes of Terra type ``ty``
+    (used for struct arguments, globals and constants)."""
+    if isinstance(value, CStruct):
+        if value.type is not ty:
+            raise FFIError(f"cdata of type {value.type} where {ty} expected")
+        return value.blob
+    if isinstance(ty, T.StructType):
+        ty.complete()
+        blob = bytearray(ty.sizeof())
+        if isinstance(value, dict):
+            # union members are alternatives: at most one may be given
+            missing = [e.field for e in ty.entries
+                       if e.field not in value and e.union_group is None]
+            if missing:
+                raise FFIError(
+                    f"dict for struct {ty} is missing fields: {missing}")
+            items = [(e, value[e.field]) for e in ty.entries
+                     if e.field in value]
+        elif isinstance(value, (tuple, list)):
+            if len(value) != len(ty.entries):
+                raise FFIError(
+                    f"{len(value)} values for struct {ty} with "
+                    f"{len(ty.entries)} fields")
+            items = list(zip(ty.entries, value))
+        else:
+            raise FFIError(
+                f"cannot convert {type(value).__name__} to struct {ty}")
+        for entry, v in items:
+            off = ty.offsetof(entry.field)
+            raw = python_to_blob(v, entry.type)
+            blob[off:off + len(raw)] = raw
+        return bytes(blob)
+    if isinstance(ty, T.ArrayType):
+        values = list(value)
+        if len(values) != ty.count:
+            raise FFIError(f"{len(values)} values for array type {ty}")
+        return b"".join(python_to_blob(v, ty.elem) for v in values)
+    if ty.ispointer():
+        addr, _keep = pointer_address(value, ty)
+        return layout.pack_value(addr, ty)
+    if isinstance(ty, T.VectorType):
+        return layout.pack_value(list(value), ty)
+    return layout.pack_value(value, ty)
+
+
+def blob_to_python(blob: bytes, ty: T.Type):
+    if ty.isaggregate():
+        return CStruct(ty, blob)
+    value = layout.unpack_value(blob, ty)
+    if ty.ispointer():
+        return CPointer(ty, value)
+    return value
+
+
+def pointer_address(value, ty: T.Type) -> tuple[int, object]:
+    """Resolve ``value`` to (address, keepalive) for a pointer parameter."""
+    if value is None:
+        return 0, None
+    if isinstance(value, CPointer):
+        return value.address, value.keepalive
+    if isinstance(value, (int, np.integer)):
+        return int(value), None
+    if isinstance(value, np.ndarray):
+        if not value.flags["C_CONTIGUOUS"]:
+            raise FFIError("numpy arrays passed to Terra must be C-contiguous")
+        pointee = ty.pointee if isinstance(ty, T.PointerType) else None
+        if isinstance(pointee, T.PrimitiveType):
+            expected = numpy_elem_type(value)
+            if expected is not pointee:
+                raise FFIError(
+                    f"numpy array of dtype {value.dtype} passed where "
+                    f"&{pointee} expected")
+        return value.ctypes.data, value
+    if isinstance(value, (bytes, bytearray)):
+        buf = ctypes.create_string_buffer(bytes(value), len(value) + 1)
+        return ctypes.addressof(buf), buf
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        buf = ctypes.create_string_buffer(raw, len(raw) + 1)
+        return ctypes.addressof(buf), buf
+    if isinstance(value, ctypes.Array) or isinstance(value, ctypes.Structure):
+        return ctypes.addressof(value), value
+    if hasattr(value, "_as_parameter_"):
+        return int(value._as_parameter_), value
+    raise FFIError(
+        f"cannot convert {type(value).__name__} to pointer type {ty}")
+
+
+def python_to_primitive(value, ty: T.PrimitiveType):
+    if ty.islogical():
+        return bool(value)
+    if ty.isintegral():
+        if isinstance(value, (bool, int, np.integer)):
+            return layout.wrap_int(int(value), ty)
+        if isinstance(value, float) and value.is_integer():
+            return layout.wrap_int(int(value), ty)
+        raise FFIError(f"cannot convert {value!r} to {ty}")
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return layout.round_float(float(value), ty)
+    raise FFIError(f"cannot convert {value!r} to {ty}")

@@ -1,0 +1,99 @@
+"""A minimal BMP codec — the paper's §2 example operates on ``.bmp`` files.
+
+Supports the common uncompressed formats: reading 8-bit palettized and
+24-bit BGR files, writing 8-bit greyscale (with the standard 256-entry
+grey palette).  Pure Python + numpy; used by the quickstart pipeline and
+usable from any Terra program via the file's byte layout.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import TerraError
+
+_FILE_HEADER = "<2sIHHI"        # magic, file size, res1, res2, data offset
+_INFO_HEADER = "<IiiHHIIiiII"   # BITMAPINFOHEADER
+
+
+def write_bmp(path: str, image: np.ndarray) -> None:
+    """Write a 2-D uint8 array (or float array in [0,1]) as an 8-bit
+    greyscale BMP."""
+    if image.ndim != 2:
+        raise TerraError("write_bmp expects a 2-D image")
+    if image.dtype != np.uint8:
+        scaled = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+        image = (scaled * 255.0 + 0.5).astype(np.uint8)
+    height, width = image.shape
+    row_size = (width + 3) & ~3            # rows pad to 4 bytes
+    palette = b"".join(bytes((i, i, i, 0)) for i in range(256))
+    data_offset = 14 + 40 + len(palette)
+    image_size = row_size * height
+    file_size = data_offset + image_size
+    with open(path, "wb") as f:
+        f.write(struct.pack(_FILE_HEADER, b"BM", file_size, 0, 0,
+                            data_offset))
+        f.write(struct.pack(_INFO_HEADER, 40, width, height, 1, 8, 0,
+                            image_size, 2835, 2835, 256, 0))
+        f.write(palette)
+        pad = bytes(row_size - width)
+        for row in image[::-1]:            # BMP stores bottom-up
+            f.write(row.tobytes())
+            f.write(pad)
+
+
+def read_bmp(path: str) -> np.ndarray:
+    """Read an uncompressed 8-bit or 24-bit BMP as a 2-D uint8 greyscale
+    array (24-bit input is converted by the integer luma approximation)."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    if raw[:2] != b"BM":
+        raise TerraError(f"{path} is not a BMP file")
+    _magic, _fsize, _r1, _r2, data_offset = struct.unpack_from(
+        _FILE_HEADER, raw, 0)
+    (hdr_size, width, height, _planes, bpp, compression, _img_size,
+     _xppm, _yppm, colors_used, _important) = struct.unpack_from(
+        _INFO_HEADER, raw, 14)
+    if hdr_size < 40 or compression != 0:
+        raise TerraError("only uncompressed BITMAPINFOHEADER BMPs supported")
+    flipped = height > 0
+    height = abs(height)
+    out = np.zeros((height, width), dtype=np.uint8)
+    if bpp == 8:
+        ncolors = colors_used or 256
+        pal_off = 14 + hdr_size
+        palette = np.frombuffer(raw, dtype=np.uint8,
+                                count=ncolors * 4, offset=pal_off)
+        palette = palette.reshape(-1, 4)
+        grey = ((palette[:, 2].astype(np.uint32) * 299
+                 + palette[:, 1].astype(np.uint32) * 587
+                 + palette[:, 0].astype(np.uint32) * 114) // 1000
+                ).astype(np.uint8)
+        row_size = (width + 3) & ~3
+        for y in range(height):
+            row = np.frombuffer(raw, dtype=np.uint8, count=width,
+                                offset=data_offset + y * row_size)
+            out[y] = grey[row]
+    elif bpp == 24:
+        row_size = (width * 3 + 3) & ~3
+        for y in range(height):
+            row = np.frombuffer(raw, dtype=np.uint8, count=width * 3,
+                                offset=data_offset + y * row_size)
+            bgr = row.reshape(-1, 3).astype(np.uint32)
+            out[y] = ((bgr[:, 2] * 299 + bgr[:, 1] * 587 + bgr[:, 0] * 114)
+                      // 1000).astype(np.uint8)
+    else:
+        raise TerraError(f"unsupported BMP bit depth: {bpp}")
+    return out[::-1].copy() if flipped else out
+
+
+def to_float(image: np.ndarray) -> np.ndarray:
+    """uint8 greyscale -> float32 in [0, 1]."""
+    return (np.asarray(image, dtype=np.float32) / 255.0)
+
+
+def from_float(image: np.ndarray) -> np.ndarray:
+    return (np.clip(np.asarray(image, dtype=np.float64), 0, 1) * 255.0
+            + 0.5).astype(np.uint8)

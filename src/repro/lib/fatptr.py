@@ -1,0 +1,103 @@
+"""Fat-pointer interfaces — the paper's §6.3.1 closing remark.
+
+    "Users are not limited to using any particular class system or
+    implementation.  For instance, we have also implemented a system that
+    implements interfaces using fat pointers that store both the object
+    pointer and vtable together."
+
+A fat interface value is a two-word struct ``{ obj : &int8, vtable :
+&VT }`` passed by value; unlike the embedded-vtable scheme of
+:mod:`repro.lib.javalike`, objects need no interface fields (zero
+per-object overhead) at the cost of a wider handle.
+"""
+
+from __future__ import annotations
+
+from .. import functype, global_, pointer, quote_, symbol, terra
+from ..core import types as T
+from ..errors import TypeCheckError
+
+
+class FatInterface:
+    """An interface dispatched through fat pointers."""
+
+    def __init__(self, methods: dict, name: str = "fatiface"):
+        self.name = name
+        self.methods: dict[str, T.FunctionType] = {}
+        for mname, mtype in methods.items():
+            if isinstance(mtype, tuple):
+                mtype = functype(list(mtype[0]), mtype[1])
+            self.methods[mname] = mtype
+        objptr = T.rawstring  # &int8: the erased object pointer
+        self.vtable_type = T.StructType(f"{name}_vt")
+        for mname, mtype in self.methods.items():
+            stub_t = T.FunctionType([objptr] + list(mtype.parameters),
+                                    mtype.returns)
+            self.vtable_type.add_entry(mname, T.pointer(stub_t))
+        #: the fat-pointer value type
+        self.type = T.StructType(name)
+        self.type.add_entry("obj", objptr)
+        self.type.add_entry("vtable", T.pointer(self.vtable_type))
+        for mname, mtype in self.methods.items():
+            self.type.methods[mname] = self._dispatch(mname, mtype)
+        #: per-implementing-class wrap functions
+        self._wrappers: dict[int, object] = {}
+        self._vtables: dict[int, object] = {}
+
+    def _dispatch(self, mname: str, mtype: T.FunctionType):
+        params = [symbol(t, f"a{i}") for i, t in enumerate(mtype.parameters)]
+        return terra("""
+        terra(self : &iface, [params])
+          return self.vtable.[mname](self.obj, [params])
+        end
+        """, env={"iface": self.type, "params": params, "mname": mname})
+
+    def implement(self, cls: T.StructType,
+                  implementations: dict[str, object]) -> None:
+        """Register ``cls`` as implementing this interface with the given
+        concrete Terra methods (each taking ``&cls`` first)."""
+        missing = set(self.methods) - set(implementations)
+        if missing:
+            raise TypeCheckError(
+                f"missing implementations for {sorted(missing)}")
+        vt = global_(self.vtable_type, name=f"fvt_{self.name}_{cls.name}")
+        ready = global_(T.bool_, False, name=f"fvtr_{self.name}_{cls.name}")
+        assigns = []
+        for mname, mtype in self.methods.items():
+            concrete = implementations[mname]
+            stub = self._make_stub(cls, concrete, mtype)
+            assigns.append(quote_("[vt].[mname] = [stub]",
+                                  env={"vt": vt, "mname": mname,
+                                       "stub": stub}))
+        wrap = terra("""
+        terra(obj : &cls) : iface
+          if not ready then
+            [assigns]
+            ready = true
+          end
+          return iface { [&int8](obj), &vt }
+        end
+        """, env={"cls": cls, "iface": self.type, "vt": vt,
+                  "ready": ready, "assigns": assigns})
+        self._vtables[id(cls)] = vt
+        self._wrappers[id(cls)] = wrap
+
+    def wrap(self, cls: T.StructType):
+        """The Terra function converting ``&cls`` to a fat-pointer value."""
+        wrapper = self._wrappers.get(id(cls))
+        if wrapper is None:
+            raise TypeCheckError(
+                f"{cls} does not implement interface {self.name}")
+        return wrapper
+
+    def _make_stub(self, cls: T.StructType, concrete, mtype: T.FunctionType):
+        params = [symbol(t, f"a{i}") for i, t in enumerate(mtype.parameters)]
+        return terra("""
+        terra(obj : &int8, [params])
+          return concrete([&cls](obj), [params])
+        end
+        """, env={"cls": cls, "concrete": concrete, "params": params})
+
+
+def interface(methods: dict, name: str = "fatiface") -> FatInterface:
+    return FatInterface(methods, name)

@@ -1,0 +1,98 @@
+"""``GrowableArray(T)`` — a generic dynamic array as a Terra library.
+
+The std.Vector of the Terra ecosystem: a meta-function over element types
+producing a struct with ``init/push/pop/get/set/size/capacity/free``
+methods over manually-managed storage (amortized-doubling growth).
+Demonstrates the paper's "high-performance runtime components as
+libraries" thesis alongside DataTable and the class systems.
+"""
+
+from __future__ import annotations
+
+from .. import includec, pointer, struct, terra
+from ..core import types as T
+from ..errors import TypeCheckError
+
+_std = includec("stdlib.h")
+_str = includec("string.h")
+
+_cache: dict[int, T.StructType] = {}
+
+
+def GrowableArray(elem: T.Type) -> T.StructType:
+    """Create (and memoize) the growable-array type for ``elem``."""
+    coerced = T.coerce_to_type(elem)
+    if coerced is None:
+        raise TypeCheckError(f"GrowableArray needs a Terra type, got {elem!r}")
+    elem = coerced
+    cached = _cache.get(id(elem))
+    if cached is not None:
+        return cached
+
+    Arr = struct(f"Growable_{elem}")
+    Arr.add_entry("data", pointer(elem))
+    Arr.add_entry("length", T.int64)
+    Arr.add_entry("space", T.int64)
+
+    env = {"Arr": Arr, "E": elem, "std": _std, "cstr": _str}
+    terra("""
+    terra Arr:init() : {}
+      self.data = nil
+      self.length = 0
+      self.space = 0
+    end
+
+    terra Arr:reserve(n : int64) : {}
+      if n <= self.space then return end
+      var newspace = self.space * 2
+      if newspace < n then newspace = n end
+      if newspace < 4 then newspace = 4 end
+      var newdata = [&E](std.malloc(newspace * sizeof(E)))
+      if self.data ~= nil then
+        cstr.memcpy(newdata, self.data, self.length * sizeof(E))
+        std.free(self.data)
+      end
+      self.data = newdata
+      self.space = newspace
+    end
+
+    terra Arr:push(v : E) : {}
+      self:reserve(self.length + 1)
+      self.data[self.length] = v
+      self.length = self.length + 1
+    end
+
+    terra Arr:pop() : E
+      self.length = self.length - 1
+      return self.data[self.length]
+    end
+
+    terra Arr:get(i : int64) : E
+      return self.data[i]
+    end
+
+    terra Arr:set(i : int64, v : E) : {}
+      self.data[i] = v
+    end
+
+    terra Arr:size() : int64
+      return self.length
+    end
+
+    terra Arr:capacity() : int64
+      return self.space
+    end
+
+    terra Arr:clear() : {}
+      self.length = 0
+    end
+
+    terra Arr:free() : {}
+      if self.data ~= nil then
+        std.free(self.data)
+      end
+      self:init()
+    end
+    """, env=env)
+    _cache[id(elem)] = Arr
+    return Arr

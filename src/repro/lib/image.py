@@ -1,0 +1,135 @@
+"""``Image(PixelType)`` — the paper's Section 2 parameterized image type.
+
+    "We can define a Lua function Image that creates the desired Terra
+    type at runtime.  This is conceptually similar to a C++ template."
+
+``Image`` is a Python function returning a Terra struct type with
+``init/get/set/load/save/free`` methods, specialized for the pixel type.
+``load``/``save`` use the C file API imported through ``includec``
+(demonstrating the "backwards compatible with C" design): the format is a
+minimal header (magic, edge length, pixel size) followed by raw pixels.
+
+Python helpers :func:`to_numpy` / :func:`from_numpy` bridge image buffers
+to numpy for the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import includec, pointer, sizeof, struct, terra
+from ..core import types as T
+
+_std = includec("stdlib.h")
+_stdio = includec("stdio.h")
+
+#: file magic: "TIMG" as a little-endian int32
+MAGIC = 0x474D4954
+
+_cache: dict[int, T.StructType] = {}
+
+
+def Image(PixelType: T.Type) -> T.StructType:
+    """Create (and memoize) the image struct type for a pixel type."""
+    cached = _cache.get(id(PixelType))
+    if cached is not None:
+        return cached
+
+    ImageImpl = struct(f"Image_{PixelType}")
+    ImageImpl.add_entry("data", pointer(PixelType))
+    ImageImpl.add_entry("N", T.int32)
+
+    env = {"ImageImpl": ImageImpl, "PixelType": PixelType,
+           "std": _std, "stdio": _stdio, "MAGIC": MAGIC}
+
+    terra("""
+    terra ImageImpl:init(N : int) : {}
+      self.data = [&PixelType](std.malloc(N * N * sizeof(PixelType)))
+      self.N = N
+    end
+
+    terra ImageImpl:get(x : int, y : int) : PixelType
+      return self.data[x * self.N + y]
+    end
+
+    terra ImageImpl:set(x : int, y : int, v : PixelType) : {}
+      self.data[x * self.N + y] = v
+    end
+
+    terra ImageImpl:free() : {}
+      std.free(self.data)
+      self.data = nil
+      self.N = 0
+    end
+
+    terra ImageImpl:fill(v : PixelType) : {}
+      for i = 0, self.N * self.N do
+        self.data[i] = v
+      end
+    end
+
+    terra ImageImpl:save(filename : rawstring) : bool
+      var f = stdio.fopen(filename, 'wb')
+      if f == nil then return false end
+      var magic = MAGIC
+      var n = self.N
+      var psize = [int32](sizeof(PixelType))
+      stdio.fwrite(&magic, 4, 1, f)
+      stdio.fwrite(&n, 4, 1, f)
+      stdio.fwrite(&psize, 4, 1, f)
+      stdio.fwrite(self.data, sizeof(PixelType), n * n, f)
+      stdio.fclose(f)
+      return true
+    end
+
+    terra ImageImpl:load(filename : rawstring) : bool
+      var f = stdio.fopen(filename, 'rb')
+      if f == nil then return false end
+      var magic : int32 = 0
+      var n : int32 = 0
+      var psize : int32 = 0
+      stdio.fread(&magic, 4, 1, f)
+      stdio.fread(&n, 4, 1, f)
+      stdio.fread(&psize, 4, 1, f)
+      if magic ~= MAGIC or psize ~= [int32](sizeof(PixelType)) then
+        stdio.fclose(f)
+        return false
+      end
+      self:init(n)
+      stdio.fread(self.data, sizeof(PixelType), n * n, f)
+      stdio.fclose(f)
+      return true
+    end
+    """, env=env)
+
+    _cache[id(PixelType)] = ImageImpl
+    return ImageImpl
+
+
+_NUMPY_OF = {
+    "float": np.float32, "double": np.float64,
+    "int8": np.int8, "int16": np.int16, "int32": np.int32,
+    "int64": np.int64, "uint8": np.uint8, "uint16": np.uint16,
+    "uint32": np.uint32, "uint64": np.uint64,
+}
+
+
+def write_image_file(path: str, array: np.ndarray) -> None:
+    """Write a square numpy array in the Image file format."""
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ValueError("image files hold square 2-D arrays")
+    n = array.shape[0]
+    header = np.array([MAGIC, n, array.dtype.itemsize], dtype=np.int32)
+    with open(path, "wb") as f:
+        f.write(header.tobytes())
+        f.write(np.ascontiguousarray(array).tobytes())
+
+
+def read_image_file(path: str, dtype=np.float32) -> np.ndarray:
+    with open(path, "rb") as f:
+        header = np.frombuffer(f.read(12), dtype=np.int32)
+        if header[0] != MAGIC:
+            raise ValueError(f"{path} is not an image file")
+        n = int(header[1])
+        data = np.frombuffer(f.read(), dtype=dtype, count=n * n)
+    return data.reshape(n, n).copy()

@@ -1,0 +1,366 @@
+"""A single-inheritance class system with interfaces — paper §6.3.1.
+
+    "Using type-reflection, we can implement a single-inheritance class
+    system with multiple subtyping of interfaces similar to Java's. ...
+    Our implementation, based on vtables, uses the subset of Stroustrup's
+    multiple inheritance that is needed to implement single inheritance
+    with multiple interfaces."
+
+Everything here is *library code* over the public reflection API — no
+compiler support.  Mechanics, exactly as the paper describes:
+
+* ``__finalizelayout`` (run by the typechecker right before the type is
+  first examined) computes the concrete layout: the parent's layout is a
+  prefix (so child pointers can be cast to parent pointers), one vtable
+  pointer sits at offset 0, and each implemented interface contributes a
+  vtable-pointer field;
+* user-defined methods are moved to a concrete table and replaced by stub
+  methods that dispatch through ``self.__vtable``;
+* interfaces are one-field structs (a vtable pointer); converting an
+  object pointer to an interface pointer selects the interface subobject
+  (``&obj.__if_NAME``), and the interface's stubs restore the original
+  object pointer before invoking the concrete method;
+* ``__cast`` implements the subtyping conversions (&Child <: &Parent,
+  &Class <: &Interface).
+
+Objects must be initialized once with the class's generated ``init``
+method (``Square.methods.init``), which installs the vtable pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import (Quote, bool_, expr, functype, global_, pointer, quote_,
+                symbol, terra)
+from ..core import types as T
+from ..core.function import GlobalVar, TerraFunction
+from ..errors import TypeCheckError
+
+
+class Interface:
+    """An interface: a set of method names and (self-less) function types."""
+
+    def __init__(self, methods: dict[str, T.FunctionType], name: str = "interface"):
+        self.name = name
+        self.methods = dict(methods)
+        #: the Terra-level interface struct: { __vtable : &vtable_struct }
+        self.type = T.StructType(name)
+        self.vtable_type = T.StructType(f"{name}_vtable")
+        for mname, mtype in self.methods.items():
+            stub_type = T.FunctionType(
+                [T.pointer(self.type)] + list(mtype.parameters), mtype.returns)
+            self.vtable_type.add_entry(mname, T.pointer(stub_type))
+        self.type.add_entry("__vtable", T.pointer(self.vtable_type))
+        # calling a method on an interface pointer dispatches through the
+        # interface vtable
+        for mname, mtype in self.methods.items():
+            self.type.methods[mname] = self._dispatch_stub(mname, mtype)
+        _interface_meta[id(self.type)] = self
+
+    def _dispatch_stub(self, mname: str, mtype: T.FunctionType) -> TerraFunction:
+        params = [symbol(t, f"a{i}") for i, t in enumerate(mtype.parameters)]
+        iface = self.type
+        env = {"iface": iface, "params": params, "mname": mname}
+        return terra("""
+        terra(self : &iface, [params])
+          return self.__vtable.[mname](self, [params])
+        end
+        """, env=env)
+
+
+def interface(methods: dict, name: str = "interface") -> Interface:
+    """Create an interface (paper: ``J.interface { draw = {} -> {} }``).
+
+    Method types may be FunctionTypes or ``(param_list, return_type)``
+    tuples."""
+    normalized = {}
+    for mname, mtype in methods.items():
+        if isinstance(mtype, tuple):
+            mtype = functype(list(mtype[0]), mtype[1])
+        if not isinstance(mtype, T.FunctionType):
+            raise TypeCheckError(
+                f"interface method {mname!r} needs a function type")
+        normalized[mname] = mtype
+    return Interface(normalized, name)
+
+
+class _ClassInfo:
+    def __init__(self, cls: T.StructType):
+        self.cls = cls
+        self.parent: Optional[T.StructType] = None
+        self.interfaces: list[Interface] = []
+        #: method name -> concrete TerraFunction (after finalize)
+        self.concrete: dict[str, TerraFunction] = {}
+        #: vtable method order (parent methods first)
+        self.vtable_order: list[str] = []
+        self.vtable_type: Optional[T.StructType] = None
+        self.vtable_global: Optional[GlobalVar] = None
+        self.iface_globals: dict[str, GlobalVar] = {}
+        self.ready_flag: Optional[GlobalVar] = None
+        self.finalized = False
+
+
+_class_info: dict[int, _ClassInfo] = {}
+_interface_meta: dict[int, Interface] = {}
+
+
+def _info(cls: T.StructType) -> _ClassInfo:
+    info = _class_info.get(id(cls))
+    if info is None:
+        info = _ClassInfo(cls)
+        _class_info[id(cls)] = info
+        cls.metamethods["__finalizelayout"] = lambda ty: _finalize(info)
+        cls.metamethods["__cast"] = _make_cast(info)
+    return info
+
+
+def extends(child: T.StructType, parent: T.StructType) -> None:
+    """Declare single inheritance: ``J.extends(Square, Shape)``."""
+    info = _info(child)
+    if info.finalized:
+        raise TypeCheckError(f"{child} is already finalized")
+    if info.parent is not None:
+        raise TypeCheckError(f"{child} already has a parent")
+    info.parent = parent
+    _info(parent)  # ensure the parent is registered as a class
+
+
+def implements(cls: T.StructType, iface) -> None:
+    """Declare interface implementation: ``J.implements(Square, Drawable)``."""
+    info = _info(cls)
+    if info.finalized:
+        raise TypeCheckError(f"{cls} is already finalized")
+    target = iface if isinstance(iface, Interface) else \
+        _interface_meta.get(id(iface))
+    if target is None:
+        raise TypeCheckError(f"{iface!r} is not an interface")
+    info.interfaces.append(target)
+
+
+def _iface_field(iface: Interface) -> str:
+    return f"__if_{iface.name}"
+
+
+def issubclass_(child: T.StructType, parent: T.StructType) -> bool:
+    info = _class_info.get(id(child))
+    while info is not None:
+        if info.cls is parent:
+            return True
+        if info.parent is None:
+            return False
+        info = _class_info.get(id(info.parent))
+    return False
+
+
+def implementsinterface(cls: T.StructType, iface_type: T.StructType) -> bool:
+    info = _class_info.get(id(cls))
+    while info is not None:
+        for ifc in info.interfaces:
+            if ifc.type is iface_type:
+                return True
+        if info.parent is None:
+            return False
+        info = _class_info.get(id(info.parent))
+    return False
+
+
+def _all_interfaces(info: _ClassInfo) -> list[Interface]:
+    out = []
+    if info.parent is not None:
+        out.extend(_all_interfaces(_class_info[id(info.parent)]))
+    for ifc in info.interfaces:
+        if ifc not in out:
+            out.append(ifc)
+    return out
+
+
+def _finalize(info: _ClassInfo) -> None:
+    """The ``__finalizelayout`` hook: computes layout, vtables and stubs."""
+    if info.finalized:
+        return
+    info.finalized = True
+    cls = info.cls
+    own_entries = list(cls.entries)
+    cls.entries.clear()
+
+    parent_info = None
+    if info.parent is not None:
+        info.parent.complete()
+        info.parent.layout()
+        parent_info = _class_info[id(info.parent)]
+
+    # --- concrete methods: inherited then own (overrides replace) -------
+    if parent_info is not None:
+        info.concrete.update(parent_info.concrete)
+        info.vtable_order = list(parent_info.vtable_order)
+    for name, fn in list(cls.methods.items()):
+        if isinstance(fn, TerraFunction):
+            info.concrete[name] = fn
+            if name not in info.vtable_order:
+                info.vtable_order.append(name)
+
+    # --- class vtable type ------------------------------------------------
+    vt = T.StructType(f"{cls.name}_vtable")
+    for name in info.vtable_order:
+        ftype = _concrete_type(info, name)
+        vt.add_entry(name, T.pointer(ftype))
+    info.vtable_type = vt
+    info.vtable_global = global_(vt, name=f"vt_{cls.name}")
+    info.ready_flag = global_(bool_, False, name=f"vtready_{cls.name}")
+
+    # --- layout: parent prefix (or vtable pointer), interfaces, fields ---
+    if parent_info is not None:
+        # the parent prefix includes the shared vtable pointer at offset 0
+        for entry in info.parent.entries:
+            cls.entries.append(T.StructEntry(entry.field, entry.type))
+    else:
+        cls.add_entry("__vtable", T.pointer(vt))
+    for iface in info.interfaces:
+        field = _iface_field(iface)
+        if not any(e.field == field for e in cls.entries):
+            cls.add_entry(field, T.pointer(iface.vtable_type))
+    for entry in own_entries:
+        cls.entries.append(entry)
+
+    # the child's vtable pointer field keeps the PARENT's vtable type in
+    # the layout (same slot); stores/loads go through pointer casts in the
+    # generated stubs below.
+
+    # --- user-facing stubs: dispatch through the vtable -------------------
+    for name in info.vtable_order:
+        ftype = _concrete_type(info, name)
+        cls.methods[name] = _make_stub(info, name, ftype)
+
+    # --- interface vtables and their stubs --------------------------------
+    for iface in _all_interfaces(info):
+        field = _iface_field(iface)
+        ivt_global = global_(iface.vtable_type, name=f"ivt_{cls.name}_{iface.name}")
+        info.iface_globals[field] = ivt_global
+
+    # --- the object initializer -------------------------------------------
+    cls.methods["init"] = _make_init(info)
+
+
+def _concrete_type(info: _ClassInfo, name: str) -> T.FunctionType:
+    return info.concrete[name].gettype()
+
+
+def _make_stub(info: _ClassInfo, name: str,
+               ftype: T.FunctionType) -> TerraFunction:
+    """``class.methods[m] = terra([params]) return self.__vtable.m([params]) end``
+    (paper §6.3.1 code listing, transliterated).
+
+    The stub's receiver is ``&cls``; the vtable entry's receiver is the
+    *defining* class (possibly a parent), so the receiver is cast."""
+    cls = info.cls
+    defining_self = ftype.parameters[0]
+    rest_types = list(ftype.parameters[1:])
+    rest = [symbol(t, f"p{i}") for i, t in enumerate(rest_types)]
+    env = {
+        "cls": cls, "rest": rest, "methodname": name,
+        "vtptr": T.pointer(info.vtable_type),
+        "selfty": defining_self,
+    }
+    return terra("""
+    terra(self : &cls, [rest])
+      return [vtptr](self.__vtable).[methodname]([selfty](self), [rest])
+    end
+    """, env=env)
+
+
+def _make_init(info: _ClassInfo) -> TerraFunction:
+    """Generate ``Class.methods.init``: installs vtable pointers (and on
+    first call, fills in the vtable globals with the concrete methods)."""
+    cls = info.cls
+    assigns = []
+    for name in info.vtable_order:
+        fn = info.concrete[name]
+        assigns.append(quote_(
+            "[vt].[mname] = [fn]",
+            env={"vt": info.vtable_global, "mname": name, "fn": fn}))
+    self_sym = symbol(pointer(cls), "self")
+    iface_ptr_assigns = []
+    for iface in _all_interfaces(info):
+        field = _iface_field(iface)
+        ivt = info.iface_globals[field]
+        for mname, mtype in iface.methods.items():
+            stub = _make_iface_stub(info, iface, mname, mtype)
+            assigns.append(quote_(
+                "[ivt].[mname] = [stub]",
+                env={"ivt": ivt, "mname": mname, "stub": stub}))
+        iface_ptr_assigns.append(quote_(
+            "[self_sym].[field] = &[ivt]",
+            env={"ivt": ivt, "field": field, "self_sym": self_sym}))
+    env = {
+        "cls": cls, "ready": info.ready_flag, "vt": info.vtable_global,
+        "assigns": assigns, "iface_ptr_assigns": iface_ptr_assigns,
+        "rootvt": T.pointer(_vtable_field_type(info)),
+        "self_sym": self_sym,
+    }
+    return terra("""
+    terra([self_sym]) : {}
+      if not ready then
+        [assigns]
+        ready = true
+      end
+      [self_sym].__vtable = [rootvt](&vt)
+      [iface_ptr_assigns]
+    end
+    """, env=env)
+
+
+def _vtable_field_type(info: _ClassInfo) -> T.Type:
+    """The declared type of the __vtable field (the root parent's vtable
+    struct), which child vtable pointers are cast to."""
+    cls_entries = info.cls.entries
+    for entry in cls_entries:
+        if entry.field == "__vtable":
+            return entry.type.pointee
+    raise TypeCheckError(f"{info.cls} has no __vtable field")
+
+
+def _make_iface_stub(info: _ClassInfo, iface: Interface, mname: str,
+                     mtype: T.FunctionType) -> TerraFunction:
+    """The interface stub: restore the object pointer from the interface
+    subobject pointer, then call the concrete method."""
+    cls = info.cls
+    offset = cls.offsetof(_iface_field(iface))
+    concrete = info.concrete.get(mname)
+    if concrete is None:
+        raise TypeCheckError(
+            f"class {cls} implements {iface.name} but has no method "
+            f"{mname!r}")
+    params = [symbol(t, f"a{i}") for i, t in enumerate(mtype.parameters)]
+    env = {
+        "iface": iface.type, "cls": cls, "params": params,
+        "offset": offset, "concrete": concrete,
+        "selfty": concrete.gettype().parameters[0],
+    }
+    return terra("""
+    terra(self : &iface, [params])
+      var obj = [&cls]([&int8](self) - offset)
+      return concrete([selfty](obj), [params])
+    end
+    """, env=env)
+
+
+def _make_cast(info: _ClassInfo):
+    """The ``__cast`` metamethod, reproducing the paper's listing."""
+
+    def cast(fromtype: T.Type, totype: T.Type, exp: Quote):
+        if fromtype.ispointer() and totype.ispointer():
+            src, dst = fromtype.pointee, totype.pointee
+            if isinstance(src, T.StructType) and isinstance(dst, T.StructType):
+                if issubclass_(src, dst):
+                    return expr("[totype]([exp])",
+                                env={"totype": totype, "exp": exp})
+                if implementsinterface(src, dst):
+                    iface = _interface_meta[id(dst)]
+                    field = _iface_field(iface)
+                    return expr("[totype](&([exp]).[field])",
+                                env={"totype": totype, "exp": exp,
+                                     "field": field})
+        raise TypeCheckError(f"not a subtype: {fromtype} -> {totype}")
+
+    return cast

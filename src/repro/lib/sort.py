@@ -1,0 +1,110 @@
+"""Staged sorting — monomorphic quicksort specialized per element type
+and comparator.
+
+C's generic ``qsort`` pays an indirect call per comparison and works on
+untyped bytes.  Staging removes both costs: ``Sort(T, compare)``
+instantiates quicksort (with insertion sort for small partitions) for a
+concrete element type, with the comparator — a Python *macro* — inlined
+into the generated code.  The companion benchmark measures the gap
+against libc qsort, in the spirit of the paper's "generative programming
+for performance" examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .. import declare, macro, terra
+from ..core import types as T
+from ..core.quotes import Quote
+from ..errors import TypeCheckError
+
+#: partitions at or below this size use insertion sort
+INSERTION_CUTOFF = 16
+
+_cache: dict[tuple, object] = {}
+
+
+def default_compare(a: Quote, b: Quote) -> Quote:
+    """``a < b`` — the natural order for arithmetic element types."""
+    return a.lt(b)
+
+
+def Sort(elem: T.Type, compare: Optional[Callable] = None):
+    """Build ``sort(data : &elem, n : int64) : {}``.
+
+    ``compare(a, b)`` is a Python function over quotes returning the
+    quote of a boolean "a orders before b"; it is inlined (via ``macro``)
+    at every comparison site.
+    """
+    coerced = T.coerce_to_type(elem)
+    if coerced is None:
+        raise TypeCheckError(f"Sort needs a Terra type, got {elem!r}")
+    elem = coerced
+    key = (id(elem), compare)
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+
+    lt = macro(compare or default_compare)
+    sort_rec = declare("sort_rec")
+
+    ns = terra("""
+    terra insertion(data : &E, lo : int64, hi : int64) : {}
+      for i = lo + 1, hi + 1 do
+        var key = data[i]
+        var j = i - 1
+        while j >= lo and lt(key, data[j]) do
+          data[j + 1] = data[j]
+          j = j - 1
+        end
+        data[j + 1] = key
+      end
+    end
+
+    terra sort_rec(data : &E, lo : int64, hi : int64) : {}
+      while hi - lo > [CUTOFF] do
+        -- median-of-three pivot selection
+        var mid = lo + (hi - lo) / 2
+        if lt(data[mid], data[lo]) then
+          var t = data[mid] data[mid] = data[lo] data[lo] = t
+        end
+        if lt(data[hi], data[lo]) then
+          var t = data[hi] data[hi] = data[lo] data[lo] = t
+        end
+        if lt(data[hi], data[mid]) then
+          var t = data[hi] data[hi] = data[mid] data[mid] = t
+        end
+        var pivot = data[mid]
+        var i = lo
+        var j = hi
+        while i <= j do
+          while lt(data[i], pivot) do i = i + 1 end
+          while lt(pivot, data[j]) do j = j - 1 end
+          if i <= j then
+            var t = data[i] data[i] = data[j] data[j] = t
+            i = i + 1
+            j = j - 1
+          end
+        end
+        -- recurse into the smaller side; loop on the larger (O(log n) stack)
+        if j - lo < hi - i then
+          if lo < j then sort_rec(data, lo, j) end
+          lo = i
+        else
+          if i < hi then sort_rec(data, i, hi) end
+          hi = j
+        end
+      end
+      insertion(data, lo, hi)
+    end
+
+    terra sort(data : &E, n : int64) : {}
+      if n > 1 then
+        sort_rec(data, 0, n - 1)
+      end
+    end
+    """, env={"E": elem, "lt": lt, "CUTOFF": INSERTION_CUTOFF,
+              "sort_rec": sort_rec})
+    _cache[key] = ns.sort
+    return ns.sort

@@ -1,0 +1,103 @@
+"""``terralib`` — a compatibility namespace mirroring the paper's API.
+
+The paper's examples call ``terralib.includec``, ``terralib.saveobj``,
+``terralib.newlist`` and friends.  This module exposes this
+reproduction's equivalents under those names, so code transliterated from
+the paper reads the same:
+
+    from repro.lib.stdlib import terralib
+    std = terralib.includec("stdlib.h")
+    terralib.saveobj("runlaplace.o", {"runlaplace": runlaplace})
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from .. import (constant, declare, functype, global_, includec, macro,
+                pointer, pycallback, saveobj, select, sizeof, struct,
+                symbol, symmat, tuple_of, vector)
+from ..core import types as _types
+from ..core.specialize import is_terra_function
+
+
+class List(list):
+    """Lua-flavoured list (``terralib.newlist``): 1-based ``insert`` is
+    plain append; ``map``/``filter`` return new Lists."""
+
+    def insert(self, value):  # noqa: A003 - Lua's list:insert(v) appends
+        self.append(value)
+        return self
+
+    def map(self, fn) -> "List":  # noqa: A003
+        return List(fn(x) for x in self)
+
+    def filter(self, fn) -> "List":  # noqa: A003
+        return List(x for x in self if fn(x))
+
+
+def newlist(items=None) -> List:
+    return List(items or [])
+
+
+def israwlist(value) -> bool:
+    return isinstance(value, (list, tuple))
+
+
+def isfunction(value) -> bool:
+    """``terralib.isfunction`` — is this a Terra function?"""
+    return is_terra_function(value)
+
+
+def istype(value) -> bool:
+    return isinstance(value, _types.Type)
+
+
+def isquote(value) -> bool:
+    from ..core.quotes import Quote
+    return isinstance(value, Quote)
+
+
+def issymbol(value) -> bool:
+    from ..core.symbols import Symbol
+    return isinstance(value, Symbol)
+
+
+def offsetof(ty: _types.StructType, field: str) -> int:
+    return ty.offsetof(field)
+
+
+def types() -> SimpleNamespace:
+    """The type-constructor table (``terralib.types`` in real Terra)."""
+    return SimpleNamespace(
+        pointer=_types.pointer, array=_types.array, vector=_types.vector,
+        funcpointer=lambda params, rets: _types.pointer(
+            functype(params, rets)),
+        newstruct=_types.StructType, tuple=tuple_of, unit=_types.unit)
+
+
+terralib = SimpleNamespace(
+    includec=includec,
+    saveobj=saveobj,
+    constant=constant,
+    global_=global_,
+    declare=declare,
+    macro=macro,
+    symbol=symbol,
+    symmat=symmat,
+    sizeof=sizeof,
+    offsetof=offsetof,
+    newlist=newlist,
+    israwlist=israwlist,
+    isfunction=isfunction,
+    istype=istype,
+    isquote=isquote,
+    issymbol=issymbol,
+    cast=pycallback,        # terralib.cast(fntype, luafn) wraps a function
+    types=types(),
+    struct=struct,
+    pointer=pointer,
+    vector=vector,
+    select=select,
+)
+terralib.is_terra_namespace = True

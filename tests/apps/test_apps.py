@@ -1,0 +1,141 @@
+"""Application-level correctness tests (the benchmark subjects)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.areafilter import CAreaFilter, build_area_filter, \
+    reference_numpy as area_ref
+from repro.apps.dispatch import build_c_dispatch, build_terra_dispatch
+from repro.apps.fluid import (FluidParams, initial_conditions, make_c_fluid,
+                              make_orion_fluid)
+from repro.apps.mesh import (build_mesh_kernels, normals_reference,
+                             random_mesh)
+from repro.apps.pointwise import build_pipeline, reference_numpy as pw_ref
+
+
+class TestFluid:
+    N = 48
+
+    def test_orion_matches_c_all_schedules(self):
+        params = FluidParams(self.N)
+        u, v, d = initial_conditions(self.N)
+        ref = make_c_fluid(params)
+        ref.set_state(u, v, d)
+        for _ in range(2):
+            ref.step()
+        ru, rv, rd = ref.get_state()
+        for vec, lb in [(0, False), (4, False), (0, True), (4, True)]:
+            sim = make_orion_fluid(params, vectorize=vec, linebuffer=lb)
+            sim.set_state(u, v, d)
+            for _ in range(2):
+                sim.step()
+            ou, ov, od = sim.get_state()
+            assert np.allclose(ou, ru, atol=1e-4), (vec, lb)
+            assert np.allclose(ov, rv, atol=1e-4), (vec, lb)
+            assert np.allclose(od, rd, atol=1e-4), (vec, lb)
+
+    def test_density_is_conserved_roughly(self):
+        params = FluidParams(self.N, diff=0.0)
+        u, v, d = initial_conditions(self.N)
+        sim = make_orion_fluid(params)
+        sim.set_state(u, v, d)
+        before = d.sum()
+        for _ in range(3):
+            sim.step()
+        after = sim.get_state()[2].sum()
+        assert after <= before * 1.01  # advection+zero boundary only lose mass
+
+    def test_state_roundtrip(self):
+        params = FluidParams(self.N)
+        u, v, d = initial_conditions(self.N)
+        sim = make_orion_fluid(params)
+        sim.set_state(u, v, d)
+        ou, ov, od = sim.get_state()
+        assert np.array_equal(ou, u) and np.array_equal(od, d)
+
+
+class TestAreaFilter:
+    N = 64
+
+    def test_c_matches_numpy(self):
+        img = np.random.RandomState(0).rand(self.N, self.N).astype(np.float32)
+        assert np.allclose(CAreaFilter(self.N).run(img), area_ref(img),
+                           atol=1e-5)
+
+    @pytest.mark.parametrize("vec,lb", [(0, False), (4, False), (8, True)])
+    def test_orion_matches_numpy(self, vec, lb):
+        img = np.random.RandomState(1).rand(self.N, self.N).astype(np.float32)
+        af = build_area_filter(self.N, vectorize=vec, linebuffer=lb)
+        assert np.allclose(af.run(img), area_ref(img), atol=1e-5)
+
+    def test_constant_image_fixed_point(self):
+        # interior of a constant image stays constant under a box filter
+        img = np.full((self.N, self.N), 0.5, dtype=np.float32)
+        out = build_area_filter(self.N).run(img)
+        assert np.allclose(out[4:-4, 4:-4], 0.5, atol=1e-6)
+
+
+class TestPointwise:
+    N = 32
+
+    @pytest.mark.parametrize("policy", ["materialize", "inline", "linebuffer"])
+    def test_matches_numpy(self, policy):
+        img = np.random.RandomState(2).rand(self.N, self.N).astype(np.float32)
+        pipe = build_pipeline(self.N, policy=policy)
+        assert np.allclose(pipe.run(img), pw_ref(img), atol=1e-6)
+
+    def test_range_is_valid(self):
+        img = np.random.RandomState(3).rand(self.N, self.N).astype(np.float32) * 3
+        out = build_pipeline(self.N, policy="inline").run(img)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestMesh:
+    def test_normals_both_layouts(self):
+        nv, nt = 2000, 4000
+        pos, tris = random_mesh(nv, nt, seed=9)
+        ref = normals_reference(pos, tris)
+        for layout in ("AoS", "SoA"):
+            k = build_mesh_kernels(layout)
+            t = k.alloc(nv)
+            k.fill(t, np.ascontiguousarray(pos.reshape(-1)), nv)
+            k.calc_normals(t, np.ascontiguousarray(tris.reshape(-1)), nt)
+            outp = np.zeros(nv * 3, np.float32)
+            outn = np.zeros(nv * 3, np.float32)
+            k.readback(t, outp, outn, nv)
+            assert np.allclose(outn.reshape(-1, 3), ref, atol=1e-3), layout
+            k.release(t)
+
+    def test_translate_both_layouts(self):
+        nv = 500
+        pos, _ = random_mesh(nv, 1, seed=4)
+        for layout in ("AoS", "SoA"):
+            k = build_mesh_kernels(layout)
+            t = k.alloc(nv)
+            k.fill(t, np.ascontiguousarray(pos.reshape(-1)), nv)
+            k.translate(t, 1.0, 2.0, 3.0, nv)
+            k.translate(t, -1.0, -2.0, -3.0, nv)
+            outp = np.zeros(nv * 3, np.float32)
+            outn = np.zeros(nv * 3, np.float32)
+            k.readback(t, outp, outn, nv)
+            assert np.allclose(outp.reshape(-1, 3), pos, atol=1e-5)
+            k.release(t)
+
+
+class TestDispatch:
+    def test_terra_and_c_agree(self):
+        tk = build_terra_dispatch()
+        ck = build_c_dispatch()
+        obj = tk.make(1.0001, 0.5)
+        cobj = ck.c_make(1.0001, 0.5)
+        for iters in (0, 1, 100, 12345):
+            assert tk.loop_virtual(obj, iters) == \
+                pytest.approx(ck.c_loop_virtual(cobj, iters), abs=1e-4)
+        tk.free(obj)
+        ck.c_release(cobj)
+
+    def test_virtual_equals_direct_result(self):
+        tk = build_terra_dispatch()
+        obj = tk.make(1.5, 0.25)
+        assert tk.loop_virtual(obj, 1000) == tk.loop_direct(obj, 1000)
+        tk.free(obj)

@@ -1,0 +1,180 @@
+"""Tests for the Figure-5 staged GEMM kernel and the full blocked GEMM."""
+
+import numpy as np
+import pytest
+
+from repro import double, float_
+from repro.autotune.genkernel import genkernel
+from repro.autotune.matmul import blocked_matmul, make_gemm, naive_matmul
+
+
+def _abc(n, dtype, seed=0):
+    rng = np.random.RandomState(seed)
+    A = np.ascontiguousarray(rng.rand(n, n).astype(dtype))
+    B = np.ascontiguousarray(rng.rand(n, n).astype(dtype))
+    C = np.zeros((n, n), dtype=dtype)
+    return A, B, C
+
+
+class TestL1Kernel:
+    @pytest.mark.parametrize("NB,RM,RN,V", [
+        (8, 1, 1, 4), (8, 2, 1, 4), (8, 2, 2, 4), (16, 4, 2, 2),
+        (16, 4, 1, 8), (8, 1, 2, 2),
+    ])
+    def test_single_block_alpha0(self, NB, RM, RN, V):
+        k = genkernel(NB, RM, RN, V, 0.0)
+        A, B, C = _abc(NB, np.float64)
+        k(A, B, C, NB, NB, NB)
+        assert np.allclose(C, A @ B)
+
+    def test_alpha1_accumulates(self):
+        NB = 8
+        k0 = genkernel(NB, 2, 1, 4, 0.0)
+        k1 = genkernel(NB, 2, 1, 4, 1.0)
+        A, B, C = _abc(NB, np.float64)
+        k0(A, B, C, NB, NB, NB)
+        k1(A, B, C, NB, NB, NB)
+        assert np.allclose(C, 2 * (A @ B))
+
+    def test_alpha0_ignores_garbage(self):
+        """The alpha=0 kernel must not read C (0*NaN would poison it)."""
+        NB = 8
+        k0 = genkernel(NB, 2, 2, 4, 0.0)
+        A, B, _ = _abc(NB, np.float64)
+        C = np.full((NB, NB), np.nan)
+        k0(A, B, C, NB, NB, NB)
+        assert np.allclose(C, A @ B)
+
+    def test_alpha_scales(self):
+        NB = 8
+        k = genkernel(NB, 1, 1, 4, 0.5)
+        A, B, C = _abc(NB, np.float64)
+        C[:] = 2.0
+        k(A, B, C, NB, NB, NB)
+        assert np.allclose(C, 1.0 + A @ B)
+
+    def test_strided_block_within_larger_matrix(self):
+        """The kernel works on an NB-block inside a larger row-major
+        matrix via the ld* strides."""
+        NB, N = 8, 16
+        k = genkernel(NB, 2, 1, 4, 0.0)
+        rng = np.random.RandomState(3)
+        A = rng.rand(N, N)
+        B = rng.rand(N, N)
+        C = np.zeros((N, N))
+        # multiply the top-left NB-block of A with the top-left of B
+        k(A, B, C, N, N, N)
+        assert np.allclose(C[:NB, :NB], A[:NB, :NB] @ B[:NB, :NB])
+        assert np.all(C[NB:, :] == 0) and np.all(C[:, NB:] == 0)
+
+    def test_float32_kernel(self):
+        NB = 8
+        k = genkernel(NB, 2, 2, 4, 0.0, elem=float_)
+        A, B, C = _abc(NB, np.float32)
+        k(A, B, C, NB, NB, NB)
+        assert np.allclose(C, A @ B, atol=1e-4)
+
+    def test_invalid_blocking_rejected(self):
+        with pytest.raises(AssertionError):
+            genkernel(8, 3, 1, 4, 0.0)  # 8 % 3 != 0
+
+    def test_prefetch_off_same_result(self):
+        NB = 8
+        A, B, C1 = _abc(NB, np.float64)
+        C2 = C1.copy()
+        genkernel(NB, 2, 1, 4, 0.0, use_prefetch=True)(A, B, C1, NB, NB, NB)
+        genkernel(NB, 2, 1, 4, 0.0, use_prefetch=False)(A, B, C2, NB, NB, NB)
+        assert np.array_equal(C1, C2)
+
+
+class TestFullGemm:
+    @pytest.mark.parametrize("N", [32, 64, 96])
+    def test_multi_block(self, N):
+        gemm = make_gemm(NB=32, RM=4, RN=2, V=4)
+        A, B, C = _abc(N, np.float64, seed=N)
+        gemm(C, A, B, N)
+        assert np.allclose(C, A @ B)
+
+    def test_sgemm(self):
+        gemm = make_gemm(NB=32, RM=4, RN=2, V=8, elem=float_)
+        A, B, C = _abc(64, np.float32)
+        gemm(C, A, B, 64)
+        assert np.allclose(C, A @ B, atol=1e-3)
+
+    def test_overwrites_c(self):
+        gemm = make_gemm(NB=32, RM=2, RN=2, V=4)
+        A, B, C = _abc(32, np.float64)
+        C[:] = 123.0  # stale contents must be overwritten, not accumulated
+        gemm(C, A, B, 32)
+        assert np.allclose(C, A @ B)
+
+    def test_baselines(self):
+        A, B, C = _abc(32, np.float64)
+        naive_matmul()(C, A, B, 32)
+        assert np.allclose(C, A @ B)
+        C2 = np.zeros_like(C)
+        blocked_matmul(16)(C2, A, B, 32)
+        assert np.allclose(C2, A @ B)
+
+
+class TestTuner:
+    def test_small_search(self):
+        from repro.autotune.tuner import candidates, tune
+        cands = candidates(double, NBs=(32,), RMs=(2, 4), RNs=(1,), Vs=(4,))
+        result = tune(test_size=128, candidate_list=cands, repeats=1)
+        assert result.gflops > 0
+        assert result.best in [c for c, _ in result.trials]
+        # the returned gemm actually works
+        A, B, C = _abc(128, np.float64)
+        result.gemm(C, A, B, 128)
+        assert np.allclose(C, A @ B)
+
+    def test_constraints_respected(self):
+        from repro.autotune.tuner import candidates
+        for c in candidates(double):
+            assert c.NB % c.RM == 0
+            assert c.NB % (c.RN * c.V) == 0
+            assert c.RM * c.RN + c.RM + c.RN <= 16
+
+    def test_infeasible_size(self):
+        from repro.autotune.tuner import Candidate, tune
+        with pytest.raises(ValueError):
+            tune(test_size=100,  # not a multiple of 32
+                 candidate_list=[Candidate(32, 2, 1, 4)], repeats=1)
+
+
+class TestPackedGemm:
+    def test_matches_unpacked(self):
+        from repro.autotune.matmul import make_gemm_packed
+        N = 128
+        rng = np.random.RandomState(5)
+        A = np.ascontiguousarray(rng.rand(N, N))
+        B = np.ascontiguousarray(rng.rand(N, N))
+        C1 = np.zeros((N, N)); C2 = np.zeros((N, N))
+        make_gemm(NB=32, RM=4, RN=2, V=4)(C1, A, B, N)
+        make_gemm_packed(NB=32, RM=4, RN=2, V=4)(C2, A, B, N)
+        assert np.allclose(C1, A @ B) and np.allclose(C2, A @ B)
+
+    @pytest.mark.parametrize("N", [64, 100, 130, 257])
+    def test_edge_sizes(self, N):
+        """The packed driver handles sizes that are not multiples of NB
+        via naive edge cleanup."""
+        from repro.autotune.matmul import make_gemm_packed
+        gemm = make_gemm_packed(NB=64, RM=4, RN=2, V=4)
+        rng = np.random.RandomState(N)
+        A = np.ascontiguousarray(rng.rand(N, N))
+        B = np.ascontiguousarray(rng.rand(N, N))
+        C = np.zeros((N, N))
+        gemm(C, A, B, N)
+        assert np.allclose(C, A @ B)
+
+    def test_sgemm_packed(self):
+        from repro.autotune.matmul import make_gemm_packed
+        N = 96
+        gemm = make_gemm_packed(NB=32, RM=4, RN=2, V=8, elem=float_)
+        rng = np.random.RandomState(1)
+        A = rng.rand(N, N).astype(np.float32)
+        B = rng.rand(N, N).astype(np.float32)
+        C = np.zeros((N, N), dtype=np.float32)
+        gemm(C, A, B, N)
+        assert np.allclose(C, A @ B, atol=1e-3)

@@ -1,0 +1,89 @@
+"""ABI cross-validation: our layout engine vs what gcc actually computes.
+
+For randomized struct layouts (mixed field types, unions), a staged Terra
+function computes each field's offset with pointer arithmetic *inside
+compiled code*; the result must equal ``StructType.offsetof`` — i.e. the
+Python-side layout used by the interpreter, the FFI and ``saveobj``
+headers agrees byte-for-byte with the C compiler.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import quote_, struct, symbol, terra
+from repro.core import types as T
+
+FIELD_TYPES = [T.int8, T.int16, T.int32, T.int64, T.uint8, T.uint32,
+               T.float32, T.float64, T.pointer(T.int8),
+               T.array(T.int16, 3), T.array(T.float64, 2)]
+
+_counter = [0]
+
+
+def _offsets_via_gcc(S: T.StructType) -> dict[str, int]:
+    """Compile one function per field returning &s.f - &s."""
+    _counter[0] += 1
+    fns = {}
+    for entry in S.entries:
+        s = symbol(T.pointer(S), "s")
+        fns[entry.field] = terra("""
+        terra([s]) : int64
+          return [int64](&[s].[fname]) - [int64]([s])
+        end
+        """, env={"s": s, "fname": entry.field, "S": S})
+    sizer = terra("terra() : int64 return [int64](sizeof(S)) end",
+                  env={"S": S})
+    import ctypes
+    buf = ctypes.create_string_buffer(max(S.sizeof(), 1) + 64)
+    base = (ctypes.addressof(buf) + 63) & ~63
+    return ({field: fn(base) for field, fn in fns.items()},
+            sizer())
+
+
+class TestOffsetsMatchGcc:
+    @settings(max_examples=12, deadline=None)
+    @given(st.lists(st.sampled_from(FIELD_TYPES), min_size=1, max_size=6))
+    def test_plain_struct(self, field_types):
+        _counter[0] += 1
+        S = T.StructType(f"XS{_counter[0]}")
+        for i, ft in enumerate(field_types):
+            S.add_entry(f"f{i}", ft)
+        measured, size = _offsets_via_gcc(S)
+        for field, offset in measured.items():
+            assert offset == S.offsetof(field), (field, field_types)
+        assert size == S.sizeof()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(st.sampled_from(FIELD_TYPES), min_size=1, max_size=3),
+           st.lists(st.sampled_from(FIELD_TYPES), min_size=2, max_size=4))
+    def test_struct_with_union(self, prefix, union_members):
+        _counter[0] += 1
+        S = T.StructType(f"XU{_counter[0]}")
+        for i, ft in enumerate(prefix):
+            S.add_entry(f"p{i}", ft)
+        S.add_union([(f"u{i}", ft) for i, ft in enumerate(union_members)])
+        measured, size = _offsets_via_gcc(S)
+        for field, offset in measured.items():
+            assert offset == S.offsetof(field)
+        assert size == S.sizeof()
+
+    def test_vector_field(self):
+        S = T.StructType("XV")
+        S.add_entry("a", T.int8)
+        S.add_entry("v", T.vector(T.float32, 4))
+        S.add_entry("b", T.int8)
+        measured, size = _offsets_via_gcc(S)
+        assert measured["v"] == S.offsetof("v")
+        assert measured["b"] == S.offsetof("b")
+        assert size == S.sizeof()
+
+    def test_nested_struct_field(self):
+        inner = struct("struct XNI { a : int8, b : int64 }")
+        S = T.StructType("XNO")
+        S.add_entry("head", T.int16)
+        S.add_entry("inner", inner)
+        S.add_entry("tail", T.int8)
+        measured, size = _offsets_via_gcc(S)
+        for field, offset in measured.items():
+            assert offset == S.offsetof(field)
+        assert size == S.sizeof()

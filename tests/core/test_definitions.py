@@ -1,0 +1,187 @@
+"""terra() definition-form tests: namespaces, methods, dotted paths,
+anonymous functions, struct definitions."""
+
+import pytest
+
+from repro import Namespace, declare, struct, terra
+from repro.core import types as T
+from repro.errors import SpecializeError, TerraSyntaxError
+
+
+class TestReturnShapes:
+    def test_single_function(self):
+        f = terra("terra one() : int return 1 end")
+        assert f() == 1
+
+    def test_namespace_for_multiple(self):
+        ns = terra("""
+        terra a() : int return 1 end
+        terra b() : int return 2 end
+        """)
+        assert isinstance(ns, Namespace)
+        assert ns.a() + ns.b() == 3
+        assert set(ns) == {"a", "b"}
+
+    def test_anonymous_function(self):
+        f = terra("terra(x : int) : int return x * 3 end")
+        assert f(4) == 12
+
+    def test_struct_and_methods_namespace(self):
+        ns = terra("""
+        struct P { x : int }
+        terra P:get() : int return self.x end
+        """)
+        assert isinstance(ns.P, T.StructType)
+        assert "P_get" in ns
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(TerraSyntaxError):
+            terra("   ")
+
+
+class TestMethods:
+    def test_method_binds_into_struct(self):
+        S = struct("struct MS { v : int }")
+        m = terra("terra MS:double() : int return self.v * 2 end",
+                  env={"MS": S})
+        assert S.methods["double"] is m
+
+    def test_method_self_is_pointer(self):
+        S = struct("struct MS2 { v : int }")
+        m = terra("terra MS2:get() : int return self.v end", env={"MS2": S})
+        assert m.gettype().parameters[0] is T.pointer(S)
+
+    def test_method_mutates_through_self(self):
+        S = struct("struct MS3 { v : int }")
+        terra("terra MS3:bump() : {} self.v = self.v + 1 end", env={"MS3": S})
+        f = terra("""
+        terra f() : int
+          var s = MS3 { 10 }
+          s:bump()
+          s:bump()
+          return s.v
+        end
+        """, env={"MS3": S})
+        assert f() == 12
+
+    def test_method_on_non_struct_rejected(self):
+        with pytest.raises(SpecializeError, match="not a struct"):
+            terra("terra notastruct:m() : int return 1 end",
+                  env={"notastruct": 42})
+
+    def test_methods_defined_in_same_call_as_struct(self):
+        ns = terra("""
+        struct Acc { total : int }
+        terra Acc:add(v : int) : {} self.total = self.total + v end
+        terra use() : int
+          var a = Acc { 0 }
+          a:add(3)
+          a:add(4)
+          return a.total
+        end
+        """)
+        assert ns.use() == 7
+
+
+class TestDottedPaths:
+    def test_define_into_dict(self):
+        lib = {}
+        f = terra("terra lib.helper(x : int) : int return x + 1 end",
+                  env={"lib": lib})
+        assert lib["helper"] is f
+        assert f(1) == 2
+
+    def test_define_into_object(self):
+        class Holder:
+            pass
+        holder = Holder()
+        f = terra("terra holder.fn() : int return 9 end",
+                  env={"holder": holder})
+        assert holder.fn is f
+
+    def test_fill_declaration_in_dict(self):
+        lib = {"fwd": declare("fwd")}
+        caller = terra("terra c() : int return lib.fwd() end",
+                       env={"lib": lib})
+        terra("terra lib.fwd() : int return 5 end", env={"lib": lib})
+        assert caller() == 5
+
+
+class TestSelfReference:
+    def test_direct_recursion_by_name(self):
+        f = terra("""
+        terra tri(n : int) : int
+          if n <= 0 then return 0 end
+          return n + tri(n - 1)
+        end
+        """)
+        assert f(4) == 10
+
+    def test_later_definitions_visible_to_earlier_in_same_call(self):
+        # forward use inside one terra() call: the earlier function body
+        # references the later by name; linking happens lazily at call
+        ns = terra("""
+        terra first(x : int) : int return second(x) + 1 end
+        terra second(x : int) : int return x * 2 end
+        """, env={"second": declare("second")})
+        # note: 'second' was pre-declared so `first` could reference it
+        assert ns.first(5) == 11
+
+
+class TestStructDefinition:
+    def test_self_referential(self):
+        Node = terra("""
+        struct Node {
+          value : int
+          next : &Node
+        }
+        """)
+        assert Node.entry_type("next") is T.pointer(Node)
+
+    def test_linked_list_roundtrip(self):
+        ns = terra("""
+        struct LNode {
+          value : int
+          next : &LNode
+        }
+        terra sum(head : &LNode) : int
+          var total = 0
+          var cur = head
+          while cur ~= nil do
+            total = total + cur.value
+            cur = cur.next
+          end
+          return total
+        end
+        terra build(n : int) : &LNode
+          var head : &LNode = nil
+          for i = 0, n do
+            var node = [&LNode](std.malloc(sizeof(LNode)))
+            node.value = i + 1
+            node.next = head
+            head = node
+          end
+          return head
+        end
+        terra destroy(head : &LNode) : {}
+          while head ~= nil do
+            var nxt = head.next
+            std.free(head)
+            head = nxt
+          end
+        end
+        """, env={"std": __import__("repro").includec("stdlib.h")})
+        head = ns.build(5)
+        assert ns.sum(head) == 15
+        ns.destroy(head)
+
+    def test_struct_types_from_namespace_sugar(self):
+        lib = {"Vec": struct("struct SVec { x : float }")}
+        f = terra("""
+        terra f() : float
+          var v : lib.Vec
+          v.x = 2.5f
+          return v.x
+        end
+        """, env={"lib": lib})
+        assert f() == 2.5

@@ -1,0 +1,103 @@
+"""Error reporting tests: the right error class, at the right stage, with
+source locations — the §4.1 "where Terra can go wrong" taxonomy."""
+
+import pytest
+
+from repro import declare, struct, terra
+from repro.errors import (LinkError, SourceLocation, SpecializeError,
+                          TerraSyntaxError, TypeCheckError)
+
+
+class TestErrorStages:
+    """Each §4.1 failure mode surfaces at its own stage with its own
+    exception class."""
+
+    def test_syntax_error_at_parse(self):
+        with pytest.raises(TerraSyntaxError):
+            terra("terra f( : int end")
+
+    def test_undefined_variable_at_specialization(self):
+        with pytest.raises(SpecializeError):
+            terra("terra f() : int return mystery_xyz end")
+
+    def test_non_term_escape_at_specialization(self):
+        with pytest.raises(SpecializeError):
+            terra("terra f() : int return [object()] end")
+
+    def test_non_type_annotation_at_specialization(self):
+        with pytest.raises(SpecializeError):
+            terra("terra f(x : [3 + 4]) : int return 0 end")
+
+    def test_type_error_at_first_call_not_definition(self):
+        fn = terra("terra f(p : &int) : int return p * p end")  # ill-typed
+        with pytest.raises(TypeCheckError):
+            fn()
+
+    def test_link_error_for_undefined_function(self):
+        g = declare("g")
+        fn = terra("terra f() : int return g() end", env={"g": g})
+        with pytest.raises((LinkError, TypeCheckError)):
+            fn()
+
+
+class TestLocations:
+    def test_syntax_error_location(self):
+        try:
+            terra("terra f() : int\n  return @@\nend", filename="demo.t")
+        except TerraSyntaxError as exc:
+            assert exc.location is not None
+            assert exc.location.filename == "demo.t"
+            assert exc.location.line >= 2
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_typecheck_error_location_line(self):
+        fn = terra("""terra f(b : bool) : int
+  var ok = 1
+  var bad = b + 1
+  return ok
+end""", filename="located.t")
+        try:
+            fn.ensure_typechecked()
+        except TypeCheckError as exc:
+            assert exc.location is not None
+            assert exc.location.line == 3
+        else:
+            pytest.fail("expected a type error")
+
+    def test_location_str(self):
+        loc = SourceLocation("x.t", 3, 7)
+        assert str(loc) == "x.t:3:7"
+        assert loc == SourceLocation("x.t", 3, 7)
+        assert hash(loc) == hash(SourceLocation("x.t", 3, 7))
+
+    def test_message_mentions_fields(self):
+        S = struct("struct ErrS { alpha : int, beta : int }")
+        fn = terra("terra f(s : ErrS) : int return s.gamma end",
+                   env={"ErrS": S})
+        with pytest.raises(TypeCheckError, match="alpha"):
+            fn.ensure_typechecked()  # suggests the available fields
+
+    def test_wrong_arg_count_message(self):
+        fn = terra("""
+        terra g(a : int, b : int) : int return a + b end
+        terra f() : int return g(1) end
+        """)
+        with pytest.raises(TypeCheckError, match="number of arguments"):
+            fn.f.ensure_typechecked()
+
+
+class TestParserDiagnostics:
+    CASES = [
+        ("terra f() : int return 1", "end"),            # missing end
+        ("terra f(x int) : int return x end", ":"),     # missing colon
+        ("terra f() : int\n x + 1\nend", "statement"),  # non-statement
+        ("struct S { x }", ":"),                        # field without type
+        ("terra f() : int return [] end", "empty"),     # empty escape
+    ]
+
+    @pytest.mark.parametrize("source,fragment", CASES)
+    def test_reasonable_messages(self, source, fragment):
+        with pytest.raises(TerraSyntaxError) as excinfo:
+            terra(source)
+        assert fragment.lower() in str(excinfo.value).lower()

@@ -1,0 +1,201 @@
+"""Intrinsics tests on both backends: math, min/max, select, prefetch."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import terra
+from repro.errors import TypeCheckError
+
+
+class TestScalarMath:
+    def test_sqrt(self, backend):
+        f = terra("terra f(x : double) : double return sqrt(x) end",
+                  env={"sqrt": __import__("repro").sqrt})
+        assert f.compile(backend)(2.0) == pytest.approx(math.sqrt(2))
+
+    def test_sqrt_float32(self, backend):
+        from repro import sqrt
+        f = terra("terra f(x : float) : float return [sqrt](x) end")
+        assert f.compile(backend)(4.0) == 2.0
+
+    def test_fabs(self, backend):
+        from repro import fabs
+        f = terra("terra f(x : double) : double return [fabs](x) end")
+        assert f.compile(backend)(-3.5) == 3.5
+
+    def test_floor_ceil(self, backend):
+        from repro import ceil, floor
+        f = terra("""
+        terra f(x : double) : double
+          return [floor](x) * 100.0 + [ceil](x)
+        end
+        """)
+        assert f.compile(backend)(2.3) == 203.0
+
+    def test_fmin_fmax(self, backend):
+        from repro import fmax, fmin
+        f = terra("""
+        terra f(a : double, b : double) : double
+          return [fmin](a, b) * 100.0 + [fmax](a, b)
+        end
+        """)
+        assert f.compile(backend)(2.0, 5.0) == 205.0
+
+    def test_sqrt_rejects_int(self):
+        from repro import sqrt
+        fn = terra("terra f(x : int) : int return [sqrt](x) end")
+        with pytest.raises(TypeCheckError):
+            fn.ensure_typechecked()
+
+
+class TestVectorIntrinsics:
+    def _run_vec(self, backend, body, a_vals, b_vals=None):
+        from repro import fabs, fmax, fmin, sqrt, select  # noqa: F401
+        args = "a : &float, o : &float" if b_vals is None else \
+            "a : &float, b : &float, o : &float"
+        f = terra(f"""
+        terra f({args}) : {{}}
+          var va = @[&vector(float,4)](a)
+          {"var vb = @[&vector(float,4)](b)" if b_vals is not None else ""}
+          @[&vector(float,4)](o) = {body}
+        end
+        """, env=dict(fabs=fabs, fmax=fmax, fmin=fmin, sqrt=sqrt,
+                      select=select))
+        a = np.array(a_vals, np.float32)
+        o = np.zeros(4, np.float32)
+        if b_vals is None:
+            f.compile(backend)(a, o)
+        else:
+            f.compile(backend)(a, np.array(b_vals, np.float32), o)
+        return list(o)
+
+    def test_vector_sqrt(self, backend):
+        out = self._run_vec(backend, "[sqrt](va)", [1, 4, 9, 16])
+        assert out == [1, 2, 3, 4]
+
+    def test_vector_fabs(self, backend):
+        out = self._run_vec(backend, "[fabs](va)", [-1, 2, -3, 4])
+        assert out == [1, 2, 3, 4]
+
+    def test_vector_fmin(self, backend):
+        out = self._run_vec(backend, "[fmin](va, vb)",
+                            [1, 5, 2, 8], [4, 3, 6, 7])
+        assert out == [1, 3, 2, 7]
+
+    def test_vector_select(self, backend):
+        out = self._run_vec(backend, "[select](va < vb, va, vb)",
+                            [1, 5, 2, 8], [4, 3, 6, 7])
+        assert out == [1, 3, 2, 7]
+
+
+class TestSelect:
+    def test_scalar(self, backend):
+        from repro import select
+        f = terra("""
+        terra f(c : bool, a : int, b : int) : int
+          return [select](c, a, b)
+        end
+        """)
+        h = f.compile(backend)
+        assert h(True, 1, 2) == 1 and h(False, 1, 2) == 2
+
+    def test_both_branches_evaluated(self, backend):
+        """select is branch-free: unlike and/or it evaluates both sides."""
+        from repro import select
+        f = terra("""
+        terra bump(p : &int) : int
+          @p = @p + 1
+          return @p
+        end
+        terra f(p : &int, q : &int) : int
+          return [select](true, bump(p), bump(q))
+        end
+        """)
+        p = np.zeros(1, np.int32)
+        q = np.zeros(1, np.int32)
+        f.f.compile(backend)(p, q)
+        assert p[0] == 1 and q[0] == 1  # the untaken branch ran too
+
+    def test_branch_type_mismatch(self):
+        from repro import select
+        fn = terra("""
+        terra f(c : bool) : int
+          return [select](c, 1, 2.5)
+        end
+        """)
+        with pytest.raises(TypeCheckError, match="same type"):
+            fn.ensure_typechecked()
+
+
+class TestPrefetchAndFence:
+    def test_prefetch_is_semantically_noop(self, backend):
+        from repro import prefetch
+        f = terra("""
+        terra f(p : &double) : double
+          [prefetch](p, 0, 3, 1)
+          return @p
+        end
+        """)
+        buf = np.array([42.5])
+        assert f.compile(backend)(buf) == 42.5
+
+    def test_prefetch_needs_pointer(self):
+        from repro import prefetch
+        fn = terra("terra f(x : int) : {} [prefetch](x, 0, 3, 1) end")
+        with pytest.raises(TypeCheckError, match="pointer"):
+            fn.ensure_typechecked()
+
+    def test_fence(self, backend):
+        from repro import fence
+        f = terra("""
+        terra f(x : int) : int
+          [fence]()
+          return x
+        end
+        """)
+        assert f.compile(backend)(7) == 7
+
+
+class TestVectorof:
+    def test_literal_lanes(self, backend):
+        f = terra("""
+        terra f(o : &float) : {}
+          @[&vector(float,4)](o) = vectorof(float, 1.f, 2.f, 3.f, 4.f)
+        end
+        """)
+        buf = np.zeros(4, np.float32)
+        f.compile(backend)(buf)
+        assert list(buf) == [1, 2, 3, 4]
+
+    def test_lane_expressions(self, backend):
+        f = terra("""
+        terra f(x : int, o : &int) : {}
+          @[&vector(int,4)](o) = vectorof(int, x, x + 1, x * 2, 0)
+        end
+        """)
+        buf = np.zeros(4, np.int32)
+        f.compile(backend)(10, buf)
+        assert list(buf) == [10, 11, 20, 0]
+
+    def test_lane_count_sets_width(self):
+        from repro import vectorof
+        from repro.errors import TypeCheckError
+        fn = terra("""
+        terra f(o : &float) : {}
+          -- 2-lane literal assigned to a 4-lane slot: type error
+          @[&vector(float,4)](o) = vectorof(float, 1.f, 2.f)
+        end
+        """)
+        with pytest.raises(TypeCheckError):
+            fn.ensure_typechecked()
+
+    def test_needs_primitive_type(self):
+        from repro.errors import SpecializeError
+        with pytest.raises(SpecializeError):
+            terra("""
+            terra f() : {}
+              var v = vectorof(rawstring, 'a')
+            end
+            """)

@@ -1,0 +1,158 @@
+"""Lexer tests: Lua-flavoured tokens plus Terra's extensions."""
+
+import pytest
+
+from repro.core.lexer import Lexer, NumberValue, Token, tokenize
+from repro.errors import TerraSyntaxError
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_names_and_keywords(self):
+        toks = kinds("terra foo end bar")
+        assert toks == [("keyword", "terra"), ("name", "foo"),
+                        ("keyword", "end"), ("name", "bar")]
+
+    def test_all_keywords_recognized(self):
+        for kw in ("and", "break", "do", "else", "elseif", "end", "false",
+                   "for", "if", "in", "nil", "not", "or", "quote", "repeat",
+                   "return", "struct", "terra", "then", "true", "until",
+                   "var", "while", "defer"):
+            assert tokenize(kw)[0].kind == Token.KEYWORD, kw
+
+    def test_underscored_names(self):
+        assert tokenize("_foo_bar2")[0].value == "_foo_bar2"
+
+    def test_operators_maximal_munch(self):
+        toks = [t.value for t in tokenize("<<= >= == ~= -> ... ..")[:-1]]
+        assert toks == ["<<", "=", ">=", "==", "~=", "->", "...", ".."]
+
+    def test_terra_specific_operators(self):
+        toks = [t.value for t in tokenize("& @ ` |")[:-1]]
+        assert toks == ["&", "@", "`", "|"]
+
+    def test_eof_token(self):
+        assert tokenize("")[0].kind == Token.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        nv = tokenize("42")[0].value
+        assert nv == NumberValue(42, False, "")
+
+    def test_float(self):
+        nv = tokenize("4.25")[0].value
+        assert nv == NumberValue(4.25, True, "")
+
+    def test_float_suffix(self):
+        # the paper writes float constants as 0.f
+        nv = tokenize("0.f")[0].value
+        assert nv == NumberValue(0.0, True, "f")
+
+    def test_int_with_f_suffix(self):
+        nv = tokenize("3f")[0].value
+        assert nv.is_float and nv.value == 3.0
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value.value == 255
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].value == NumberValue(1000.0, True, "")
+        assert tokenize("1.5e-2")[0].value.value == pytest.approx(0.015)
+
+    def test_ull_suffix(self):
+        nv = tokenize("5ULL")[0].value
+        assert nv.suffix == "ull" and nv.value == 5
+
+    def test_ll_suffix(self):
+        assert tokenize("5LL")[0].value.suffix == "ll"
+
+    def test_u_suffix(self):
+        assert tokenize("5u")[0].value.suffix == "u"
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value.value == 0.5
+
+    def test_range_not_float(self):
+        # `0,10` style: dot-dot must not absorb into the number
+        toks = [t.value for t in tokenize("1..2")[:-1]]
+        assert toks[0].value == 1 and toks[1] == ".." and toks[2].value == 2
+
+
+class TestStrings:
+    def test_simple(self):
+        assert tokenize("'hello'")[0].value == "hello"
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r"'a\nb\t\\'")[0].value == "a\nb\t\\"
+
+    def test_unterminated(self):
+        with pytest.raises(TerraSyntaxError):
+            tokenize("'abc")
+
+    def test_newline_rejected(self):
+        with pytest.raises(TerraSyntaxError):
+            tokenize("'ab\ncd'")
+
+    def test_unknown_escape(self):
+        with pytest.raises(TerraSyntaxError):
+            tokenize(r"'\q'")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a -- comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a --[[ x\ny ]] b") == [("name", "a"), ("name", "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(TerraSyntaxError):
+            tokenize("--[[ never ends")
+
+
+class TestLocations:
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[2].location.line == 3
+        assert toks[2].location.column == 3
+
+    def test_first_line_offset(self):
+        toks = tokenize("a", first_line=10)
+        assert toks[0].location.line == 10
+
+
+class TestEscapeScanning:
+    def scan(self, source):
+        lexer = Lexer(source)
+        tok = lexer.next_token()
+        assert tok.value == "["
+        body, _loc = lexer.scan_escape(tok.end_offset)
+        return body, lexer
+
+    def test_simple(self):
+        body, lexer = self.scan("[x + 1] rest")
+        assert body == "x + 1"
+        assert lexer.next_token().value == "rest"
+
+    def test_nested_brackets(self):
+        body, _ = self.scan("[caddr[m][n]]")
+        assert body == "caddr[m][n]"
+
+    def test_python_string_with_bracket(self):
+        body, _ = self.scan("[f(']')]")
+        assert body == "f(']')"
+
+    def test_triple_quoted(self):
+        body, _ = self.scan('[f("""][""")]')
+        assert body == 'f("""][""")'
+
+    def test_unterminated(self):
+        with pytest.raises(TerraSyntaxError):
+            self.scan("[f(1)")

@@ -1,0 +1,188 @@
+"""Operator metamethods and the full Complex-number example.
+
+The paper builds Complex via reflection (§4.1, §6.3); here it gets a
+complete arithmetic via ``__add``/``__mul``/``__eq``/``__unm`` plus the
+paper's ``__cast`` promotion from float.
+"""
+
+import pytest
+
+from repro import expr, struct, terra
+from repro.core import types as T
+from repro.errors import TypeCheckError
+
+
+def make_complex():
+    Complex = struct("Complex")
+    Complex.add_entry("real", T.float32)
+    Complex.add_entry("imag", T.float32)
+    env = {"Complex": Complex}
+
+    def mk(re, im):
+        return expr("Complex { [re], [im] }",
+                    env={"Complex": Complex, "re": re, "im": im})
+
+    Complex.metamethods["__add"] = lambda a, b: mk(
+        a.select("real") + b.select("real"),
+        a.select("imag") + b.select("imag"))
+    Complex.metamethods["__sub"] = lambda a, b: mk(
+        a.select("real") - b.select("real"),
+        a.select("imag") - b.select("imag"))
+    Complex.metamethods["__mul"] = lambda a, b: mk(
+        a.select("real") * b.select("real")
+        - a.select("imag") * b.select("imag"),
+        a.select("real") * b.select("imag")
+        + a.select("imag") * b.select("real"))
+    Complex.metamethods["__unm"] = lambda a: mk(
+        -a.select("real"), -a.select("imag"))
+
+    def eq(a, b):
+        return expr("av.real == bv.real and av.imag == bv.imag",
+                    env={"av": a, "bv": b})
+    Complex.metamethods["__eq"] = eq
+
+    def cast(fromtype, totype, e):
+        if fromtype is T.float32 or fromtype is T.float64 \
+                or fromtype is T.int32:
+            return expr("Complex { [float](e), 0.f }",
+                        env={"Complex": Complex, "e": e})
+        raise TypeCheckError("invalid conversion")
+    Complex.metamethods["__cast"] = cast
+    return Complex
+
+
+class TestComplexArithmetic:
+    def test_add(self):
+        Complex = make_complex()
+        f = terra("""
+        terra f() : float
+          var a = Complex { 1.f, 2.f }
+          var b = Complex { 10.f, 20.f }
+          var c = a + b
+          return c.real * 100.f + c.imag
+        end
+        """, env={"Complex": Complex})
+        assert f() == 1100.0 + 22.0
+
+    def test_mul(self):
+        Complex = make_complex()
+        f = terra("""
+        terra f() : float
+          var i = Complex { 0.f, 1.f }
+          var sq = i * i    -- i^2 == -1
+          return sq.real * 10.f + sq.imag
+        end
+        """, env={"Complex": Complex})
+        assert f() == -10.0
+
+    def test_unary_minus(self):
+        Complex = make_complex()
+        f = terra("""
+        terra f() : float
+          var a = Complex { 3.f, -4.f }
+          var b = -a
+          return b.real * 10.f + b.imag
+        end
+        """, env={"Complex": Complex})
+        assert f() == -30.0 + 4.0
+
+    def test_eq(self):
+        Complex = make_complex()
+        f = terra("""
+        terra f() : bool
+          var a = Complex { 1.f, 2.f }
+          var b = Complex { 1.f, 2.f }
+          return a == b
+        end
+        """, env={"Complex": Complex})
+        assert f() is True
+
+    def test_mixed_scalar_via_cast(self):
+        """The paper's promotion: a float operand converts to Complex via
+        __cast inside the overloaded operator's argument position."""
+        Complex = make_complex()
+        f = terra("""
+        terra addc(a : Complex, b : Complex) : Complex return a + b end
+        terra f() : float
+          var c = addc(Complex { 1.f, 5.f }, 2.5f)
+          return c.real * 10.f + c.imag
+        end
+        """, env={"Complex": Complex})
+        assert f.f() == 35.0 + 5.0
+
+    def test_chained_expression(self):
+        Complex = make_complex()
+        f = terra("""
+        terra f() : float
+          var a = Complex { 1.f, 1.f }
+          var b = Complex { 2.f, 0.f }
+          var c = (a + b) * a - b    -- (3+i)(1+i) - 2 = 3+4i+i^2-2 = 4i
+          return c.real * 100.f + c.imag
+        end
+        """, env={"Complex": Complex})
+        assert f() == pytest.approx(0.0 + 4.0)
+
+
+class TestMetamethodErrors:
+    def test_struct_without_operators_rejected(self):
+        S = struct("struct NoOps { x : int }")
+        fn = terra("""
+        terra f(a : NoOps, b : NoOps) : int
+          var c = a + b
+          return c.x
+        end
+        """, env={"NoOps": S})
+        with pytest.raises(TypeCheckError):
+            fn.ensure_typechecked()
+
+
+class TestApplyMetamethod:
+    """__apply: calling a struct value like a function (Terra's operator
+    for array-style containers)."""
+
+    def make_span(self):
+        from repro import expr
+        Span = struct("struct Span { data : &double, n : int64 }")
+
+        def apply_(obj, index):
+            return expr("[obj].data[[index]]", env={"obj": obj,
+                                                    "index": index})
+        Span.metamethods["__apply"] = apply_
+        return Span
+
+    def test_call_syntax_indexes(self):
+        import numpy as np
+        Span = self.make_span()
+        f = terra("""
+        terra f(p : &double, n : int64) : double
+          var s = Span { p, n }
+          return s(0) + s(n - 1)
+        end
+        """, env={"Span": Span})
+        data = np.array([1.5, 2.0, 3.25])
+        assert f(data, 3) == 1.5 + 3.25
+
+    def test_apply_through_pointer(self):
+        import numpy as np
+        Span = self.make_span()
+        f = terra("""
+        terra get(s : &Span, i : int64) : double
+          return (@s)(i)
+        end
+        terra f(p : &double) : double
+          var s = Span { p, 2 }
+          return get(&s, 1)
+        end
+        """, env={"Span": Span})
+        assert f.f(np.array([5.0, 7.0])) == 7.0
+
+    def test_missing_apply_still_errors(self):
+        S = struct("struct NoApply { x : int }")
+        fn = terra("""
+        terra f() : int
+          var s = NoApply { 1 }
+          return s(0)
+        end
+        """, env={"NoApply": S})
+        with pytest.raises(TypeCheckError, match="non-function"):
+            fn.ensure_typechecked()

@@ -1,0 +1,333 @@
+"""Parser tests: the Terra grammar, including every escape position the
+paper's Figure 5 kernel generator uses."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.parser import (parse_expression, parse_quote, parse_toplevel,
+                               parse_type)
+from repro.errors import TerraSyntaxError
+
+
+def expr(src):
+    return parse_expression(src)
+
+
+def fn(src):
+    defs = parse_toplevel(src)
+    assert len(defs) == 1 and isinstance(defs[0], ast.FunctionDef)
+    return defs[0]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.rhs, ast.BinOp) and e.rhs.op == "*"
+
+    def test_precedence_cmp_below_add(self):
+        e = expr("a + b < c")
+        assert e.op == "<"
+
+    def test_and_or(self):
+        e = expr("a and b or c")
+        assert e.op == "or"
+        assert e.lhs.op == "and"
+
+    def test_left_associativity(self):
+        e = expr("a - b - c")
+        assert e.op == "-" and isinstance(e.lhs, ast.BinOp)
+        assert e.lhs.op == "-"
+
+    def test_unary(self):
+        e = expr("-a * b")
+        # unary binds tighter than *
+        assert e.op == "*"
+        assert isinstance(e.lhs, ast.UnOp) and e.lhs.op == "-"
+
+    def test_address_of_and_deref(self):
+        e = expr("@p")
+        assert isinstance(e, ast.UnOp) and e.op == "@"
+        e = expr("&x")
+        assert isinstance(e, ast.UnOp) and e.op == "&"
+
+    def test_not(self):
+        e = expr("not a")
+        assert isinstance(e, ast.UnOp) and e.op == "not"
+
+    def test_select_chain(self):
+        e = expr("std.malloc")
+        assert isinstance(e, ast.Select) and e.field == "malloc"
+
+    def test_method_call(self):
+        e = expr("img:get(i, j)")
+        assert isinstance(e, ast.MethodCall)
+        assert e.name == "get" and len(e.args) == 2
+
+    def test_index(self):
+        e = expr("a[i + 1]")
+        assert isinstance(e, ast.Index)
+
+    def test_call(self):
+        e = expr("f(1, 2)")
+        assert isinstance(e, ast.Apply) and len(e.args) == 2
+
+    def test_escape(self):
+        e = expr("[x + 1]")
+        assert isinstance(e, ast.Escape) and e.code == "x + 1"
+
+    def test_escape_call_is_cast_shape(self):
+        e = expr("[&int8](p)")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.fn, ast.Escape)
+
+    def test_computed_field(self):
+        # the paper's javalike: self.__vtable.[methodname](...)
+        e = expr("self.vt.[name](x)")
+        assert isinstance(e, ast.Apply)
+        sel = e.fn
+        assert isinstance(sel, ast.Select)
+        assert isinstance(sel.field, ast.Escape)
+
+    def test_typed_constructor(self):
+        e = expr("Complex { 1, 0.f }")
+        assert isinstance(e, ast.Constructor)
+        assert e.type_expr is not None and len(e.fields) == 2
+
+    def test_named_constructor_fields(self):
+        e = expr("{ x = 1, y = 2 }")
+        assert [f.name for f in e.fields] == ["x", "y"]
+
+    def test_nil_true_false(self):
+        assert isinstance(expr("nil"), ast.Nil)
+        assert expr("true").value is True
+        assert expr("false").value is False
+
+    def test_string(self):
+        assert expr("'abc'").value == "abc"
+
+    def test_parenthesized(self):
+        e = expr("(1 + 2) * 3")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_shift_and_bitops(self):
+        e = expr("a << 2 | b & c ^ d")
+        assert e.op == "|"
+
+
+class TestStatements:
+    def block(self, src):
+        return fn(f"terra f() : {{}}\n{src}\nend").body.statements
+
+    def test_var_decl(self):
+        (s,) = self.block("var x : int = 1")
+        assert isinstance(s, ast.VarStat)
+        assert s.targets[0].name == "x"
+        assert s.inits is not None
+
+    def test_var_multi(self):
+        (s,) = self.block("var a, b = 1, 2")
+        assert len(s.targets) == 2 and len(s.inits) == 2
+
+    def test_var_escape_target(self):
+        (s,) = self.block("var [sym] = 1")
+        assert s.targets[0].escape is not None
+
+    def test_assignment_multi(self):
+        (s,) = self.block("a, b = b, a")
+        assert isinstance(s, ast.AssignStat)
+        assert len(s.lhs) == 2
+
+    def test_deref_assignment(self):
+        (s,) = self.block("@p = 5")
+        assert isinstance(s, ast.AssignStat)
+        assert isinstance(s.lhs[0], ast.UnOp)
+
+    def test_if_elseif_else(self):
+        (s,) = self.block("""
+        if a then return 1
+        elseif b then return 2
+        else return 3 end
+        """)
+        assert isinstance(s, ast.IfStat)
+        assert len(s.branches) == 2 and s.orelse is not None
+
+    def test_while(self):
+        (s,) = self.block("while x < 10 do x = x + 1 end")
+        assert isinstance(s, ast.WhileStat)
+
+    def test_repeat(self):
+        (s,) = self.block("repeat x = x + 1 until x > 3")
+        assert isinstance(s, ast.RepeatStat)
+
+    def test_for_with_step(self):
+        (s,) = self.block("for i = 0, N, 4 do f(i) end")
+        assert isinstance(s, ast.ForNum) and s.step is not None
+
+    def test_for_escape_var(self):
+        (s,) = self.block("for [mm] = 0, NB, RM do end")
+        assert s.target.escape is not None
+
+    def test_break(self):
+        (s,) = self.block("while true do break end")
+        assert isinstance(s.body.statements[0], ast.BreakStat)
+
+    def test_defer(self):
+        (s,) = self.block("defer free(p)")
+        assert isinstance(s, ast.DeferStat)
+
+    def test_statement_escape(self):
+        (s,) = self.block("[stmts]")
+        assert isinstance(s, ast.EscapeStat)
+
+    def test_statement_escape_with_semicolon(self):
+        stmts = self.block("[loadc];\n[calcc];")
+        assert len(stmts) == 2
+        assert all(isinstance(s, ast.EscapeStat) for s in stmts)
+
+    def test_escape_assignment(self):
+        # Fig 5: [c[m][n]] = [c[m][n]] + [a[m]] * [b[n]]
+        (s,) = self.block("[c] = [c] + [a] * [b]")
+        assert isinstance(s, ast.AssignStat)
+        assert isinstance(s.lhs[0], ast.Escape)
+
+    def test_newline_escape_not_index(self):
+        stmts = self.block("var x = 0\n[qs]\nreturn x")
+        assert len(stmts) == 3
+        assert isinstance(stmts[1], ast.EscapeStat)
+
+    def test_same_line_index(self):
+        (s,) = self.block("x = a[i]")
+        assert isinstance(s.rhs[0], ast.Index)
+
+    def test_do_block(self):
+        (s,) = self.block("do var x = 1 end")
+        assert isinstance(s, ast.DoStat)
+
+    def test_expression_statement_must_be_call(self):
+        with pytest.raises(TerraSyntaxError):
+            self.block("x + 1")
+
+
+class TestDefinitions:
+    def test_named_function(self):
+        d = fn("terra min(a : int, b : int) : int return a end")
+        assert d.namepath == ["min"]
+        assert len(d.params) == 2
+        assert d.params[0].name == "a"
+
+    def test_anonymous_function(self):
+        d = fn("terra(a : int) : int return a end")
+        assert d.namepath is None
+
+    def test_method_definition(self):
+        d = fn("terra Image:init(N : int) : {} end")
+        assert d.namepath == ["Image"] and d.method_name == "init"
+
+    def test_escape_params(self):
+        d = fn("terra([A] : &double, [params]) end")
+        assert d.params[0].escape is not None
+        assert d.params[0].type_expr is not None
+        assert d.params[1].type_expr is None
+
+    def test_struct(self):
+        defs = parse_toplevel(
+            "struct GreyscaleImage { data : &float; N : int; }")
+        (d,) = defs
+        assert isinstance(d, ast.StructDef)
+        assert [f for f, _t in d.entries] == ["data", "N"]
+
+    def test_multiple_definitions(self):
+        defs = parse_toplevel("""
+        struct V { x : float }
+        terra V:get() : float return self.x end
+        terra make() : V return V { 1.f } end
+        """)
+        assert len(defs) == 3
+
+    def test_dotted_name(self):
+        d = fn("terra ns.helper() : int return 1 end")
+        assert d.namepath == ["ns", "helper"]
+
+
+class TestTypeExpressions:
+    def test_pointer(self):
+        t = parse_type("&int")
+        assert isinstance(t, ast.UnOp) and t.op == "&"
+
+    def test_pointer_pointer(self):
+        t = parse_type("&&float")
+        assert isinstance(t.operand, ast.UnOp)
+
+    def test_array(self):
+        t = parse_type("int[4]")
+        assert isinstance(t, ast.Index)
+
+    def test_vector_call(self):
+        t = parse_type("vector(float, 4)")
+        assert isinstance(t, ast.Apply)
+
+    def test_unit(self):
+        t = parse_type("{}")
+        assert isinstance(t, ast.TupleTypeExpr) and t.elements == []
+
+    def test_tuple(self):
+        t = parse_type("{int, bool}")
+        assert isinstance(t, ast.TupleTypeExpr) and len(t.elements) == 2
+
+    def test_function_type(self):
+        t = parse_type("{int, int} -> int")
+        assert isinstance(t, ast.FunctionTypeExpr)
+        assert len(t.parameters) == 2 and len(t.returns) == 1
+
+    def test_escape_type(self):
+        t = parse_type("[PixelType]")
+        assert isinstance(t, ast.Escape)
+
+    def test_namespaced(self):
+        t = parse_type("lib.Image")
+        assert isinstance(t, ast.Select)
+
+
+class TestQuotes:
+    def test_statements(self):
+        q = parse_quote("var x = 1\nf(x)")
+        assert len(q.block.statements) == 2
+        assert q.in_exprs is None
+
+    def test_in_clause(self):
+        q = parse_quote("var x = 1 in x")
+        assert q.in_exprs is not None and len(q.in_exprs) == 1
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TerraSyntaxError):
+            parse_quote("var x = 1 end")
+
+
+class TestParserRobustness:
+    """Fuzz: arbitrary text must raise TerraSyntaxError (or parse), never
+    crash with an internal exception."""
+
+    from hypothesis import given, settings, strategies as _st
+
+    @settings(max_examples=200, deadline=None)
+    @given(_st.lists(_st.sampled_from(
+        list("abcxyz0123456789()[]{}+-*/@&:=.,<>~'\"") +
+        [" ", "\n", "terra ", "end ", "var ", "if ", "then ", "for ",
+         "do ", "return ", "struct ", "quote ", "in ", "and ", "not "]),
+        max_size=40))
+    def test_toplevel_never_crashes(self, pieces):
+        from repro.errors import TerraSyntaxError
+        try:
+            parse_toplevel("".join(pieces))
+        except TerraSyntaxError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(_st.text(max_size=40))
+    def test_expression_never_crashes(self, text):
+        from repro.errors import TerraSyntaxError
+        try:
+            parse_expression(text)
+        except TerraSyntaxError:
+            pass

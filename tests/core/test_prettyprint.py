@@ -1,0 +1,91 @@
+"""Pretty-printer tests: the staged code is inspectable (Terra's
+printpretty/disas story)."""
+
+import pytest
+
+from repro import quote_, symbol, terra, int_
+
+
+@pytest.fixture
+def staged_fn():
+    n = 3
+    acc = symbol(int_, "acc")
+    qs = [quote_("[acc] = [acc] + [i]") for i in range(n)]
+    return terra("""
+    terra staged(x : int) : int
+      var [acc] = x
+      [qs]
+      if [acc] > 10 then return [acc] end
+      for i = 0, 4 do
+        [acc] = [acc] * 2
+      end
+      return [acc]
+    end
+    """)
+
+
+class TestSpecializedPrinting:
+    def test_shows_splice_results(self, staged_fn):
+        text = staged_fn.get_source()
+        # the quotes were spliced: three accumulation statements exist
+        assert text.count("+ 0") + text.count("+ 1") + text.count("+ 2") == 3
+        # escapes are gone — constants were embedded
+        assert "[" not in text.replace("] :", "")  # no escape brackets
+
+    def test_shows_renamed_symbols(self, staged_fn):
+        text = staged_fn.get_source()
+        assert "acc_" in text  # hygienic unique names are visible
+
+    def test_control_flow_rendered(self, staged_fn):
+        text = staged_fn.get_source()
+        assert "if" in text and "for" in text and "return" in text
+
+    def test_declaration_only(self):
+        from repro import declare
+        assert "not defined" in declare("ghost").get_source()
+
+    def test_printpretty_prints(self, staged_fn, capsys):
+        staged_fn.printpretty()
+        assert "terra staged" in capsys.readouterr().out
+
+
+class TestTypedPrinting:
+    def test_inferred_types_visible(self):
+        f = terra("terra f(x : int) return x + 1.5 end")
+        text = f.get_source(typed=True)
+        assert ": double" in text  # the inferred return type
+
+    def test_conversions_visible(self):
+        f = terra("terra f(x : int) : double return x end")
+        text = f.get_source(typed=True)
+        assert "numeric" in text  # the inserted implicit cast
+
+    def test_loop_var_type_shown(self):
+        f = terra("""
+        terra f(n : int64) : int64
+          var s : int64 = 0
+          for i = 0, n do s = s + i end
+          return s
+        end
+        """)
+        text = f.get_source(typed=True)
+        assert ": int64 =" in text
+
+
+class TestCSource:
+    def test_c_source_contains_component(self):
+        fns = terra("""
+        terra helper(x : int) : int return x * 2 end
+        terra main_fn(x : int) : int return helper(x) + 1 end
+        """)
+        text = fns.main_fn.get_c_source()
+        assert "helper" in text and "main_fn" in text
+        assert "#include <stdint.h>" in text
+
+    def test_c_source_shows_vector_types(self):
+        f = terra("""
+        terra f(p : &float) : {}
+          @[&vector(float,4)](p) = @[&vector(float,4)](p) * 2.f
+        end
+        """)
+        assert "vector_size" in f.get_c_source()

@@ -1,0 +1,237 @@
+"""Type system tests: reflection, layout, memoization, conversions."""
+
+import ctypes
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import types as T
+from repro.errors import TypeCheckError
+
+PRIMITIVES = [T.int8, T.int16, T.int32, T.int64, T.uint8, T.uint16,
+              T.uint32, T.uint64, T.float32, T.float64, T.bool_]
+
+prims = st.sampled_from(PRIMITIVES)
+
+
+class TestReflectionAPI:
+    def test_primitive_queries(self):
+        assert T.int32.isintegral() and T.int32.isarithmetic()
+        assert T.float64.isfloat() and not T.float64.isintegral()
+        assert T.bool_.islogical() and not T.bool_.isarithmetic()
+        assert T.int32.isprimitive()
+
+    def test_pointer_queries(self):
+        p = T.pointer(T.float32)
+        assert p.ispointer() and not p.isarithmetic()
+        assert p.type is T.float32  # Terra reflection spelling
+
+    def test_array_queries(self):
+        a = T.array(T.int32, 7)
+        assert a.isarray() and a.isaggregate()
+        assert a.N == 7 and a.type is T.int32
+
+    def test_vector_queries(self):
+        v = T.vector(T.float32, 4)
+        assert v.isvector() and v.isfloat()
+        assert v.N == 4
+
+    def test_struct_queries(self):
+        s = T.struct("S", [("x", T.int32)])
+        assert s.isstruct() and s.isaggregate()
+        assert s.entry_type("x") is T.int32
+        assert s.entry_type("nope") is None
+        assert s.has_entry("x")
+
+    def test_function_type(self):
+        f = T.functype([T.int32], T.float64)
+        assert f.isfunction()
+        assert f.returntype is T.float64
+
+    def test_unit(self):
+        assert T.unit.isunit()
+        assert T.functype([], T.unit).returntype.isunit()
+
+
+class TestMemoization:
+    def test_pointer_identity(self):
+        assert T.pointer(T.int32) is T.pointer(T.int32)
+
+    def test_array_identity(self):
+        assert T.array(T.int8, 3) is T.array(T.int8, 3)
+        assert T.array(T.int8, 3) is not T.array(T.int8, 4)
+
+    def test_vector_identity(self):
+        assert T.vector(T.float32, 4) is T.vector(T.float32, 4)
+
+    def test_function_identity(self):
+        assert T.functype([T.int32], T.int32) is T.functype([T.int32], T.int32)
+
+    def test_structs_nominal(self):
+        a = T.struct("Same", [("x", T.int32)])
+        b = T.struct("Same", [("x", T.int32)])
+        assert a is not b
+
+    def test_tuple_identity(self):
+        assert T.tuple_of([T.int32, T.bool_]) is T.tuple_of([T.int32, T.bool_])
+
+
+class TestLayout:
+    def test_primitive_sizes(self):
+        assert [p.sizeof() for p in PRIMITIVES] == \
+            [1, 2, 4, 8, 1, 2, 4, 8, 4, 8, 1]
+
+    def test_pointer_size(self):
+        assert T.pointer(T.int8).sizeof() == 8
+        assert T.pointer(T.int8).alignof() == 8
+
+    def test_struct_padding(self):
+        s = T.struct("P", [("a", T.int8), ("b", T.int64)])
+        assert s.offsetof("a") == 0
+        assert s.offsetof("b") == 8
+        assert s.sizeof() == 16
+
+    def test_struct_tail_padding(self):
+        s = T.struct("Q", [("a", T.int64), ("b", T.int8)])
+        assert s.sizeof() == 16  # padded to alignment
+
+    def test_array_layout(self):
+        a = T.array(T.int32, 5)
+        assert a.sizeof() == 20 and a.alignof() == 4
+
+    def test_vector_size_pow2(self):
+        assert T.vector(T.float32, 4).sizeof() == 16
+        assert T.vector(T.float32, 3).sizeof() == 16  # padded up
+
+    def test_vector_alignment_is_element(self):
+        # under-aligned vectors support unaligned stencil loads (movups)
+        assert T.vector(T.float32, 8).alignof() == 4
+
+    def test_empty_struct(self):
+        assert T.struct("E").sizeof() == 0
+
+    @given(st.lists(prims, min_size=1, max_size=8))
+    def test_struct_layout_matches_ctypes(self, field_types):
+        """Property: our struct layout equals the platform C ABI layout."""
+        s = T.StructType()
+        cfields = []
+        mapping = {1: {True: ctypes.c_int8, False: ctypes.c_uint8},
+                   2: {True: ctypes.c_int16, False: ctypes.c_uint16},
+                   4: {True: ctypes.c_int32, False: ctypes.c_uint32},
+                   8: {True: ctypes.c_int64, False: ctypes.c_uint64}}
+        for i, ft in enumerate(field_types):
+            s.add_entry(f"f{i}", ft)
+            if ft.isfloat():
+                ct = ctypes.c_float if ft is T.float32 else ctypes.c_double
+            elif ft.islogical():
+                ct = ctypes.c_uint8
+            else:
+                ct = mapping[ft.bytes][ft.signed]
+            cfields.append((f"f{i}", ct))
+        cstruct = type("X", (ctypes.Structure,), {"_fields_": cfields})
+        assert s.sizeof() == ctypes.sizeof(cstruct)
+        for i in range(len(field_types)):
+            assert s.offsetof(f"f{i}") == getattr(cstruct, f"f{i}").offset
+
+    @given(prims, st.integers(min_value=0, max_value=64))
+    def test_array_size_scales(self, elem, n):
+        a = T.array(elem, n)
+        assert a.sizeof() == elem.sizeof() * n
+        assert a.alignof() == elem.alignof()
+
+    @given(st.lists(prims, min_size=1, max_size=6))
+    def test_offsets_aligned_and_monotone(self, field_types):
+        s = T.StructType()
+        for i, ft in enumerate(field_types):
+            s.add_entry(f"f{i}", ft)
+        prev_end = 0
+        for i, ft in enumerate(field_types):
+            off = s.offsetof(f"f{i}")
+            assert off % ft.alignof() == 0
+            assert off >= prev_end
+            prev_end = off + ft.sizeof()
+        assert s.sizeof() >= prev_end
+        assert s.sizeof() % s.alignof() == 0
+
+
+class TestFinalization:
+    def test_finalize_hook_runs_once(self):
+        calls = []
+        s = T.struct("F")
+        s.metamethods["__finalizelayout"] = lambda ty: calls.append(ty)
+        s.complete()
+        s.complete()
+        assert calls == [s]
+
+    def test_hook_may_add_entries(self):
+        s = T.struct("G")
+        s.metamethods["__finalizelayout"] = \
+            lambda ty: ty.add_entry("added", T.int32)
+        assert s.entry_type("added") is T.int32
+        assert s.sizeof() == 4
+
+    def test_no_entries_after_finalize(self):
+        s = T.struct("H", [("x", T.int32)])
+        s.layout()
+        with pytest.raises(TypeCheckError):
+            s.add_entry("y", T.int32)
+
+
+class TestCommonPrimitive:
+    def test_same(self):
+        assert T.common_primitive(T.int32, T.int32) is T.int32
+
+    def test_int_promotion(self):
+        assert T.common_primitive(T.int8, T.int32) is T.int32
+        assert T.common_primitive(T.int32, T.int64) is T.int64
+
+    def test_signed_unsigned_same_size(self):
+        assert T.common_primitive(T.int32, T.uint32) is T.uint32
+
+    def test_float_wins(self):
+        assert T.common_primitive(T.int64, T.float32) is T.float32
+        assert T.common_primitive(T.float32, T.float64) is T.float64
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeCheckError):
+            T.common_primitive(T.bool_, T.int32)
+
+    @given(prims.filter(lambda p: p.isarithmetic()),
+           prims.filter(lambda p: p.isarithmetic()))
+    def test_commutative(self, a, b):
+        assert T.common_primitive(a, b) is T.common_primitive(b, a)
+
+
+class TestCoercion:
+    def test_python_builtins(self):
+        assert T.coerce_to_type(int) is T.int32
+        assert T.coerce_to_type(float) is T.float32
+        assert T.coerce_to_type(bool) is T.bool_
+        assert T.coerce_to_type(str) is T.rawstring
+
+    def test_passthrough(self):
+        assert T.coerce_to_type(T.float64) is T.float64
+
+    def test_non_types(self):
+        assert T.coerce_to_type(42) is None
+        assert T.coerce_to_type("int") is None
+
+
+class TestConstructorValidation:
+    def test_pointer_requires_type(self):
+        with pytest.raises(TypeCheckError):
+            T.pointer(42)
+
+    def test_vector_requires_primitive(self):
+        with pytest.raises(TypeCheckError):
+            T.vector(T.struct("S"), 4)
+
+    def test_negative_array(self):
+        with pytest.raises(TypeCheckError):
+            T.array(T.int32, -1)
+
+    def test_integer_ranges(self):
+        assert T.int8.min_value() == -128 and T.int8.max_value() == 127
+        assert T.uint8.min_value() == 0 and T.uint8.max_value() == 255
+        assert T.int32.max_value() == 2**31 - 1
+        assert T.uint64.max_value() == 2**64 - 1

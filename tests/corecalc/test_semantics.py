@@ -1,0 +1,246 @@
+"""Terra Core semantics tests — every inline example of paper §3–4.1."""
+
+import pytest
+
+from repro.corecalc import machine as M
+from repro.corecalc import terms as t
+from repro.errors import LinkError, SpecializeError, TypeCheckError
+
+B = t.B
+ARR = t.Arrow(B, B)
+
+
+def lint(v):
+    return t.LBase(v)
+
+
+def ter(target, param, body, ptype=B, rtype=B):
+    return t.LTDefn(target, param, t.LType(ptype), t.LType(rtype), body)
+
+
+class TestBasicEvaluation:
+    def test_let_and_var(self):
+        v, _ = M.run(t.LLet("x", lint(5), t.LVar("x")))
+        assert v == 5
+
+    def test_assignment(self):
+        prog = t.LLet("x", lint(1),
+                      t.seq(t.LAssign("x", lint(2)), t.LVar("x")))
+        v, _ = M.run(prog)
+        assert v == 2
+
+    def test_closure_application(self):
+        prog = t.LLet("f", t.LFun("x", t.LVar("x")),
+                      t.LApp(t.LVar("f"), lint(9)))
+        v, _ = M.run(prog)
+        assert v == 9
+
+    def test_lexical_scoping_of_closures(self):
+        # fun captures its defining environment
+        prog = t.LLet(
+            "x", lint(10),
+            t.LLet("f", t.LFun("y", t.LVar("x")),
+                   t.LLet("x", lint(99), t.LApp(t.LVar("f"), lint(0)))))
+        v, _ = M.run(prog)
+        assert v == 10
+
+
+class TestTerraFunctions:
+    def test_identity_function(self):
+        """let x = ter tdecl(x2 : int) : int { x2 } in x(7)"""
+        prog = t.LLet("x", ter(t.LTDecl(), "x2", t.TVar("x2")),
+                      t.LApp(t.LVar("x"), lint(7)))
+        v, _ = M.run(prog)
+        assert v == 7
+
+    def test_declare_then_define(self):
+        """let x = tdecl in (ter x(x2:int):int { x2 }; x(3))"""
+        prog = t.LLet(
+            "x", t.LTDecl(),
+            t.seq(ter(t.LVar("x"), "x2", t.TVar("x2")),
+                  t.LApp(t.LVar("x"), lint(3))))
+        v, _ = M.run(prog)
+        assert v == 3
+
+    def test_redefinition_rejected(self):
+        prog = t.LLet(
+            "x", ter(t.LTDecl(), "a", t.TVar("a")),
+            ter(t.LVar("x"), "a", t.TVar("a")))
+        with pytest.raises(M.CoreError, match="already defined"):
+            M.run(prog)
+
+    def test_call_undefined_is_link_error(self):
+        prog = t.LLet("x", t.LTDecl(), t.LApp(t.LVar("x"), lint(1)))
+        with pytest.raises(LinkError):
+            M.run(prog)
+
+
+class TestEagerSpecialization:
+    def test_paper_mutation_example(self):
+        """Paper §4.1: 'let x1 = 0 in let y = ter tdecl(x2:int):int { x1 }
+        in x1 := 1; y(0)' evaluates to 0 because specialization is eager."""
+        prog = t.LLet(
+            "x1", lint(0),
+            t.LLet("y", ter(t.LTDecl(), "x2", t.TEscape(t.LVar("x1"))),
+                   t.seq(t.LAssign("x1", lint(1)),
+                         t.LApp(t.LVar("y"), lint(0)))))
+        v, _ = M.run(prog)
+        assert v == 0
+
+    def test_paper_separate_evaluation_example(self):
+        """Paper §4.1: 'let x1 = 1 in let y = ter tdecl(x2:int):int { x1 }
+        in x1 := 2; y(0)' evaluates to 1 — Terra runs independently of S."""
+        prog = t.LLet(
+            "x1", lint(1),
+            t.LLet("y", ter(t.LTDecl(), "x2", t.TEscape(t.LVar("x1"))),
+                   t.seq(t.LAssign("x1", lint(2)),
+                         t.LApp(t.LVar("y"), lint(0)))))
+        v, _ = M.run(prog)
+        assert v == 1
+
+    def test_bare_variable_in_terra_behaves_as_escaped(self):
+        """SVAR: a Lua-bound name inside Terra code resolves through the
+        shared environment, exactly like an escape."""
+        prog = t.LLet(
+            "c", lint(5),
+            t.LLet("f", ter(t.LTDecl(), "x", t.TVar("c")),
+                   t.LApp(t.LVar("f"), lint(0))))
+        v, _ = M.run(prog)
+        assert v == 5
+
+
+class TestSharedEnvironmentAndQuotes:
+    def test_paper_quote_shared_env(self):
+        """Paper §4.1: 'let x1 = 0 in 'tlet y1 : int = 1 in x1' specializes
+        the quote in the surrounding environment, giving tlet ȳ = 1 in 0."""
+        prog = t.LLet("x1", lint(0),
+                      t.LQuote(t.TLet("y1", t.LType(B), t.TBase(1),
+                                      t.TVar("x1"))))
+        v, _ = M.run(prog)
+        assert isinstance(v, t.SLet)
+        assert v.body == t.SBase(0)   # x1 became the constant 0
+
+    def test_spliced_quote_in_function(self):
+        """The quote from the previous test spliced into a function body
+        (the paper's x2/x3 example): calling it yields 0."""
+        quote = t.LQuote(t.TLet("y1", t.LType(B), t.TBase(1), t.TVar("x1")))
+        prog = t.LLet(
+            "x1", lint(0),
+            t.LLet("x2", quote,
+                   t.LLet("x3", ter(t.LTDecl(), "y2",
+                                    t.TEscape(t.LVar("x2"))),
+                          t.LApp(t.LVar("x3"), lint(42)))))
+        v, _ = M.run(prog)
+        assert v == 0
+
+
+class TestHygiene:
+    def test_paper_capture_avoidance_example(self):
+        """Paper §4.1's hygiene example:
+
+            let x1 = fun(x2){ 'tlet y : int = 0 in [x2] } in
+            let x3 = ter tdecl(y : int) : int { [x1(y)] } in x3
+
+        Without renaming, the tlet's y would capture the parameter y and
+        x3(42) would return 0; with hygiene it returns 42.
+        """
+        make_quote = t.LFun(
+            "x2", t.LQuote(t.TLet("y", t.LType(B), t.TBase(0),
+                                  t.TEscape(t.LVar("x2")))))
+        prog = t.LLet(
+            "x1", make_quote,
+            t.LLet("x3", ter(t.LTDecl(), "y",
+                             t.TEscape(t.LApp(t.LVar("x1"), t.LVar("y")))),
+                   t.LApp(t.LVar("x3"), lint(42))))
+        v, _ = M.run(prog)
+        assert v == 42
+
+    def test_nested_tlets_fresh(self):
+        prog = t.LLet(
+            "f", ter(t.LTDecl(), "x",
+                     t.TLet("x", t.LType(B), t.TBase(1),
+                            t.TVar("x"))),
+            t.LApp(t.LVar("f"), lint(9)))
+        v, state = M.run(prog)
+        assert v == 1  # the inner tlet shadows the parameter
+        # and the two variables have distinct symbols
+        fdef = next(d for d in state.functions.values() if d)
+        assert isinstance(fdef.body, t.SLet)
+        assert fdef.body.symbol != fdef.symbol
+
+
+class TestTypeReflection:
+    def test_paper_polymorphic_identity(self):
+        """Paper §4.1: 'let x3 = fun(x1){ ter tdecl(x2 : x1) : x1 { x2 } }
+        in x3(int)(1)' — a Lua function generating a Terra identity
+        function for any given type."""
+        prog = t.LLet(
+            "x3", t.LFun("x1", t.LTDefn(t.LTDecl(), "x2", t.LVar("x1"),
+                                        t.LVar("x1"), t.TVar("x2"))),
+            t.LApp(t.LApp(t.LVar("x3"), t.LType(B)), lint(1)))
+        v, _ = M.run(prog)
+        assert v == 1
+
+    def test_annotation_must_be_type(self):
+        prog = t.LTDefn(t.LTDecl(), "x", lint(42), t.LType(B), t.TVar("x"))
+        with pytest.raises(SpecializeError):
+            M.run(prog)
+
+
+class TestLazyTypechecking:
+    def test_mutual_recursion_connected_component(self):
+        """The paper's mutual-recursion pattern: declare x2, define x1
+        referencing it, define x2 referencing x1, call x1."""
+        prog = t.LLet(
+            "x2", t.LTDecl(),
+            t.LLet(
+                "x1", ter(t.LTDecl(), "y",
+                          t.TApp(t.TVar("x2"), t.TVar("y"))),
+                t.seq(ter(t.LVar("x2"), "y",
+                          t.TApp(t.TVar("x1"), t.TVar("y"))),
+                      lint(1))))
+        # typechecking the component must succeed (no infinite loop)
+        v, state = M.run(prog)
+        assert v == 1
+        for addr in state.functions:
+            M.typecheck_function(addr, state)
+
+    def test_type_error_surfaces_at_call(self):
+        """An ill-typed body only errors when the function is called."""
+        bad = ter(t.LTDecl(), "x",
+                  t.TApp(t.TVar("x"), t.TBase(1)))  # applying a base value
+        prog = t.LLet("f", bad, lint(0))
+        v, _ = M.run(prog)
+        assert v == 0  # defining it is fine
+        prog2 = t.LLet("f", bad, t.LApp(t.LVar("f"), lint(1)))
+        with pytest.raises(TypeCheckError):
+            M.run(prog2)
+
+    def test_monotonic_after_definition(self):
+        state = M.State()
+        # declare g, define f calling g; typecheck f -> link error
+        g = state.fresh_function()
+        v = M.eval_lua(
+            ter(t.LTDecl(), "x", t.TApp(t.TEscape(t.LVar("g")),
+                                        t.TVar("x"))),
+            M.bind(M.EMPTY_ENV, "g", _store(state, t.SFunc(g))), state)
+        with pytest.raises(LinkError):
+            M.typecheck_function(v.address, state)
+        # define g; the same typecheck now succeeds (monotonicity)
+        state.functions[g] = t.FuncDef(state.fresh_symbol(), B, B,
+                                       t.SBase(0))
+        ftype = M.typecheck_function(v.address, state)
+        assert ftype == ARR
+
+    def test_only_base_values_cross_boundary(self):
+        prog = t.LLet(
+            "f", ter(t.LTDecl(), "x", t.TVar("x")),
+            t.LApp(t.LVar("f"), t.LFun("y", t.LVar("y"))))
+        with pytest.raises(M.CoreError, match="base values"):
+            M.run(prog)
+
+
+def _store(state, value):
+    addr = state.fresh_addr()
+    state.store[addr] = value
+    return addr

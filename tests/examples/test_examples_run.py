@@ -1,0 +1,43 @@
+"""Every example script must run to completion (small sizes)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+#: example -> small-size argv (keep the suite fast)
+CASES = {
+    "quickstart.py": [],
+    "terra_core_semantics.py": [],
+    "class_system.py": [],
+    "mandelbrot.py": ["96"],
+    "data_layout.py": ["20000"],
+    "orion_pipeline.py": ["128"],
+    "orion_fluid.py": ["96"],
+    "autotune_gemm.py": ["128"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, path, *CASES[script]],
+        capture_output=True, text=True, timeout=420,
+        cwd=os.path.join(EXAMPLES_DIR, ".."))
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_has_a_case():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(CASES), (
+        "examples and CASES out of sync — add new examples here so they "
+        "stay runnable")

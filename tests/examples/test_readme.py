@@ -1,0 +1,24 @@
+"""The README's code blocks must actually run."""
+
+import os
+import re
+
+import pytest
+
+README = os.path.join(os.path.dirname(__file__), "..", "..", "README.md")
+
+
+def python_blocks():
+    text = open(README).read()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_readme_has_python_blocks():
+    assert len(python_blocks()) >= 2
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_readme_block_runs(index):
+    block = python_blocks()[index]
+    namespace: dict = {"__name__": "__readme__"}
+    exec(compile(block, f"<README block {index}>", "exec"), namespace)

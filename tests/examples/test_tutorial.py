@@ -1,0 +1,25 @@
+"""The tutorial's code blocks must actually run (same policy as README)."""
+
+import os
+import re
+
+import pytest
+
+TUTORIAL = os.path.join(os.path.dirname(__file__), "..", "..", "docs",
+                        "TUTORIAL.md")
+
+
+def python_blocks():
+    text = open(TUTORIAL).read()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_tutorial_has_blocks():
+    assert len(python_blocks()) >= 5
+
+
+@pytest.mark.parametrize("index", range(len(python_blocks())))
+def test_tutorial_block_runs(index):
+    block = python_blocks()[index]
+    namespace: dict = {"__name__": "__tutorial__"}
+    exec(compile(block, f"<TUTORIAL block {index}>", "exec"), namespace)

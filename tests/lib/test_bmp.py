@@ -1,0 +1,147 @@
+"""BMP codec tests: round trips, padding, formats, error handling."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TerraError
+from repro.lib.bmp import from_float, read_bmp, to_float, write_bmp
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [(4, 4), (5, 7), (1, 1), (3, 17)])
+    def test_uint8(self, shape, tmp_path):
+        rng = np.random.RandomState(sum(shape))
+        img = rng.randint(0, 256, size=shape, dtype=np.uint8)
+        path = str(tmp_path / "rt.bmp")
+        write_bmp(path, img)
+        assert np.array_equal(read_bmp(path), img)
+
+    def test_float_written_as_grey(self, tmp_path):
+        img = np.linspace(0, 1, 16, dtype=np.float32).reshape(4, 4)
+        path = str(tmp_path / "f.bmp")
+        write_bmp(path, img)
+        back = read_bmp(path)
+        assert back.dtype == np.uint8
+        assert np.allclose(to_float(back), img, atol=1 / 255 + 1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 33), st.integers(1, 17), st.integers(0, 2**31 - 1))
+    def test_property_any_size(self, w, h, seed):
+        import tempfile
+        rng = np.random.RandomState(seed)
+        img = rng.randint(0, 256, size=(h, w), dtype=np.uint8)
+        with tempfile.NamedTemporaryFile(suffix=".bmp") as f:
+            write_bmp(f.name, img)
+            assert np.array_equal(read_bmp(f.name), img)
+
+    def test_row_padding_multiple_of_four(self, tmp_path):
+        img = np.arange(15, dtype=np.uint8).reshape(3, 5)
+        path = str(tmp_path / "pad.bmp")
+        write_bmp(path, img)
+        raw = open(path, "rb").read()
+        data_offset = struct.unpack_from("<I", raw, 10)[0]
+        assert (len(raw) - data_offset) == 3 * 8  # rows of 5 pad to 8
+
+
+class Test24Bit:
+    def _write_24(self, path, pixels):
+        """Hand-roll a 24-bit BMP (BGR, bottom-up)."""
+        h, w, _ = pixels.shape
+        row_size = (w * 3 + 3) & ~3
+        data = bytearray()
+        for row in pixels[::-1]:
+            data += row.tobytes()
+            data += bytes(row_size - w * 3)
+        header = struct.pack("<2sIHHI", b"BM", 54 + len(data), 0, 0, 54)
+        info = struct.pack("<IiiHHIIiiII", 40, w, h, 1, 24, 0, len(data),
+                           0, 0, 0, 0)
+        with open(path, "wb") as f:
+            f.write(header + info + data)
+
+    def test_grey_24bit(self, tmp_path):
+        grey = np.zeros((2, 3, 3), dtype=np.uint8)
+        grey[..., :] = np.arange(6, dtype=np.uint8).reshape(2, 3, 1) * 40
+        path = str(tmp_path / "c24.bmp")
+        self._write_24(path, grey)
+        out = read_bmp(path)
+        assert np.array_equal(out, np.arange(6, dtype=np.uint8).reshape(2, 3) * 40)
+
+    def test_luma_weights(self, tmp_path):
+        # pure red / green / blue pixels convert by integer luma
+        px = np.array([[[0, 0, 255], [0, 255, 0], [255, 0, 0]]],
+                      dtype=np.uint8)  # BGR!
+        path = str(tmp_path / "rgb.bmp")
+        self._write_24(path, px)
+        out = read_bmp(path)
+        assert list(out[0]) == [255 * 299 // 1000, 255 * 587 // 1000,
+                                255 * 114 // 1000]
+
+
+class TestErrors:
+    def test_not_a_bmp(self, tmp_path):
+        path = tmp_path / "no.bmp"
+        path.write_bytes(b"PNG....")
+        with pytest.raises(TerraError, match="not a BMP"):
+            read_bmp(str(path))
+
+    def test_3d_input_rejected(self, tmp_path):
+        with pytest.raises(TerraError, match="2-D"):
+            write_bmp(str(tmp_path / "x.bmp"), np.zeros((2, 2, 3)))
+
+    def test_float_conversions(self):
+        img = np.array([[0, 128, 255]], dtype=np.uint8)
+        f = to_float(img)
+        assert f.dtype == np.float32 and f.max() == 1.0
+        assert np.array_equal(from_float(f), img)
+
+
+class TestWithTerraPipeline:
+    def test_bmp_through_laplace(self, tmp_path):
+        """BMP in, Terra stencil, BMP out — the §2 user experience."""
+        from repro import float32, terra
+        from repro.lib.image import Image
+
+        Img = Image(float32)
+        blur = terra("""
+        terra blur(img : &Img, out : &Img) : {}
+          var n = img.N
+          out:init(n)
+          for i = 0, n do
+            for j = 0, n do
+              out:set(i, j, img:get(i, j) * 0.5f)
+            end
+          end
+        end
+        """, env={"Img": Img})
+
+        src = np.random.RandomState(0).randint(0, 256, (16, 16),
+                                               dtype=np.uint8)
+        in_bmp = str(tmp_path / "in.bmp")
+        write_bmp(in_bmp, src)
+
+        loaded = to_float(read_bmp(in_bmp))
+        from repro.lib.image import read_image_file, write_image_file
+        timg = str(tmp_path / "t.timg")
+        write_image_file(timg, loaded)
+
+        runner = terra("""
+        terra run(inp : rawstring, outp : rawstring) : bool
+          var i = Img {}
+          var o = Img {}
+          if not i:load(inp) then return false end
+          blur(&i, &o)
+          var ok = o:save(outp)
+          i:free() o:free()
+          return ok
+        end
+        """, env={"Img": Img, "blur": blur})
+        out_timg = str(tmp_path / "o.timg")
+        assert runner(timg, out_timg)
+        result = read_image_file(out_timg)
+        out_bmp = str(tmp_path / "out.bmp")
+        write_bmp(out_bmp, result)
+        back = read_bmp(out_bmp)
+        assert np.allclose(to_float(back), loaded * 0.5, atol=2 / 255)

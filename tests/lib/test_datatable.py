@@ -1,0 +1,154 @@
+"""DataTable tests — §6.3.2: one interface, two layouts."""
+
+import pytest
+
+from repro import float_, int_, terra
+from repro.core import types as T
+from repro.errors import TypeCheckError
+from repro.lib.datatable import DataTable
+
+FIELDS = {"vx": float_, "vy": float_, "pressure": float_, "density": float_}
+
+
+def sum_prog(Table):
+    return terra("""
+    terra prog(n : int64) : float
+      var t : FluidData
+      t:init(n)
+      for i = 0, n do
+        var r = t:row(i)
+        r:setvx([float](i))
+        r:setvy(0.5f)
+        r:setpressure(0.0f)
+        r:setdensity(1.0f)
+      end
+      var s = 0.0f
+      for i = 0, n do
+        var r = t:row(i)
+        s = s + r:vx() * r:vy() + r:density()
+      end
+      t:free()
+      return s
+    end
+    """, env={"FluidData": Table})
+
+
+class TestBothLayouts:
+    @pytest.mark.parametrize("layout", ["AoS", "SoA"])
+    def test_roundtrip(self, layout, backend):
+        table = DataTable(dict(FIELDS), layout)
+        prog = sum_prog(table)
+        n = 50
+        expected = sum(0.5 * i + 1.0 for i in range(n))
+        assert prog.compile(backend)(n) == pytest.approx(expected)
+
+    def test_layouts_agree(self):
+        aos = sum_prog(DataTable(dict(FIELDS), "AoS"))
+        soa = sum_prog(DataTable(dict(FIELDS), "SoA"))
+        assert aos(100) == soa(100)
+
+    def test_interface_identical(self):
+        """Paper: 'it can be changed just by replacing AoS with SoA' —
+        the method surface must match exactly."""
+        aos = DataTable(dict(FIELDS), "AoS")
+        soa = DataTable(dict(FIELDS), "SoA")
+        aos_rows = set(aos.metadata["row"].methods)
+        soa_rows = set(soa.metadata["row"].methods)
+        assert aos_rows == soa_rows
+        assert set(aos.methods) == set(soa.methods)
+
+
+class TestLayoutShapes:
+    def test_aos_is_one_array_of_records(self):
+        aos = DataTable(dict(FIELDS), "AoS")
+        assert aos.entry_names() == ["data", "n"]
+        record = aos.metadata["record"]
+        assert record.entry_names() == list(FIELDS)
+        assert record.sizeof() == 16
+
+    def test_soa_is_parallel_arrays(self):
+        soa = DataTable(dict(FIELDS), "SoA")
+        assert soa.entry_names() == list(FIELDS) + ["n"]
+        for name in FIELDS:
+            assert soa.entry_type(name).ispointer()
+
+    def test_mixed_field_types(self):
+        t = DataTable({"a": T.int64, "b": T.int8}, "AoS")
+        prog = terra("""
+        terra prog() : int64
+          var t : Tbl
+          t:init(4)
+          var r = t:row(2)
+          r:seta(1000)
+          r:setb(7)
+          var v = r:a() + r:b()
+          t:free()
+          return v
+        end
+        """, env={"Tbl": t})
+        assert prog() == 1007
+
+    def test_bad_layout(self):
+        with pytest.raises(TypeCheckError, match="AoS"):
+            DataTable({"x": float_}, "AOS")
+
+    def test_bad_field_type(self):
+        with pytest.raises(TypeCheckError):
+            DataTable({"x": "float"}, "AoS")
+
+
+class TestAoSoA:
+    def test_roundtrip(self, backend):
+        table = DataTable(dict(FIELDS), "AoSoA")
+        prog = sum_prog(table)
+        n = 50
+        expected = sum(0.5 * i + 1.0 for i in range(n))
+        assert prog.compile(backend)(n) == pytest.approx(expected)
+
+    def test_matches_other_layouts(self):
+        n = 100
+        results = {layout: sum_prog(DataTable(dict(FIELDS), layout))(n)
+                   for layout in ("AoS", "SoA", "AoSoA")}
+        assert len(set(results.values())) == 1
+
+    @pytest.mark.parametrize("block", [1, 4, 16])
+    def test_block_sizes(self, block):
+        table = DataTable(dict(FIELDS), "AoSoA", block=block)
+        assert table.metadata["block"] == block
+        assert sum_prog(table)(37) == sum_prog(
+            DataTable(dict(FIELDS), "AoS"))(37)
+
+    def test_mixed_field_sizes(self):
+        t = DataTable({"a": T.int8, "b": T.int64, "c": T.int16}, "AoSoA",
+                      block=4)
+        prog = terra("""
+        terra prog() : int64
+          var t : Tbl
+          t:init(10)
+          for i = 0, 10 do
+            var r = t:row(i)
+            r:seta([int8](i))
+            r:setb(i * 1000)
+            r:setc([int16](i * 10))
+          end
+          var s : int64 = 0
+          for i = 0, 10 do
+            var r = t:row(i)
+            s = s + r:a() + r:b() + r:c()
+          end
+          t:free()
+          return s
+        end
+        """, env={"Tbl": t})
+        assert prog() == sum(i + i * 1000 + i * 10 for i in range(10))
+
+    def test_non_multiple_of_block(self):
+        # n not a multiple of the tile size: the last partial tile works
+        table = DataTable(dict(FIELDS), "AoSoA", block=8)
+        assert sum_prog(table)(13) == pytest.approx(
+            sum(0.5 * i + 1.0 for i in range(13)))
+
+    def test_interface_identical_to_other_layouts(self):
+        a = DataTable(dict(FIELDS), "AoS")
+        h = DataTable(dict(FIELDS), "AoSoA")
+        assert set(a.metadata["row"].methods) == set(h.metadata["row"].methods)

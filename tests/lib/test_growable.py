@@ -1,0 +1,140 @@
+"""GrowableArray(T) tests, including hypothesis model-based checking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import struct, terra
+from repro.core import types as T
+from repro.errors import TypeCheckError
+from repro.lib.growable import GrowableArray
+
+
+class TestBasics:
+    def test_push_get(self, backend):
+        Arr = GrowableArray(T.int32)
+        f = terra("""
+        terra f(n : int) : int
+          var a : Arr
+          a:init()
+          for i = 0, n do a:push(i * i) end
+          var s = 0
+          for i = 0, a:size() do s = s + a:get(i) end
+          a:free()
+          return s
+        end
+        """, env={"Arr": Arr})
+        assert f.compile(backend)(10) == sum(i * i for i in range(10))
+
+    def test_growth_doubles(self):
+        Arr = GrowableArray(T.int64)
+        f = terra("""
+        terra f(n : int64) : int64
+          var a : Arr
+          a:init()
+          for i = 0, n do a:push(i) end
+          var cap = a:capacity()
+          a:free()
+          return cap
+        end
+        """, env={"Arr": Arr})
+        cap = f(100)
+        assert cap >= 100 and cap <= 256  # amortized doubling, not linear
+
+    def test_pop(self):
+        Arr = GrowableArray(T.float64)
+        f = terra("""
+        terra f() : double
+          var a : Arr
+          a:init()
+          a:push(1.5)
+          a:push(2.5)
+          var top = a:pop()
+          var rest = a:pop()
+          a:free()
+          return top * 10.0 + rest
+        end
+        """, env={"Arr": Arr})
+        assert f() == 26.5
+
+    def test_struct_elements(self):
+        Pt = struct("struct GPt { x : int, y : int }")
+        Arr = GrowableArray(Pt)
+        f = terra("""
+        terra f() : int
+          var a : Arr
+          a:init()
+          a:push(GPt { 1, 2 })
+          a:push(GPt { 30, 40 })
+          var p = a:get(1)
+          a:free()
+          return p.x + p.y
+        end
+        """, env={"Arr": Arr, "GPt": Pt})
+        assert f() == 70
+
+    def test_memoized(self):
+        assert GrowableArray(T.int32) is GrowableArray(T.int32)
+        assert GrowableArray(T.int32) is not GrowableArray(T.int64)
+
+    def test_python_builtin_coerced(self):
+        assert GrowableArray(int) is GrowableArray(T.int32)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeCheckError):
+            GrowableArray("int")
+
+    def test_free_without_alloc_ok(self):
+        Arr = GrowableArray(T.int32)
+        f = terra("""
+        terra f() : int
+          var a : Arr
+          a:init()
+          a:free()
+          a:free()
+          return 1
+        end
+        """, env={"Arr": Arr})
+        assert f() == 1
+
+
+class TestModelBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.one_of(
+        st.integers(-1000, 1000),           # push value
+        st.just("pop"), st.just("clear")),
+        min_size=1, max_size=40))
+    def test_against_python_list(self, ops):
+        """Drive the Terra array and a Python list with the same operation
+        sequence; all observations must match."""
+        Arr = GrowableArray(T.int64)
+        driver = terra("""
+        terra new() : &Arr
+          var a = [&Arr](std.malloc(sizeof(Arr)))
+          a:init()
+          return a
+        end
+        terra push(a : &Arr, v : int64) : {} a:push(v) end
+        terra pop(a : &Arr) : int64 return a:pop() end
+        terra size(a : &Arr) : int64 return a:size() end
+        terra get(a : &Arr, i : int64) : int64 return a:get(i) end
+        terra clear(a : &Arr) : {} a:clear() end
+        terra destroy(a : &Arr) : {} a:free() std.free(a) end
+        """, env={"Arr": Arr, "std": __import__("repro").includec("stdlib.h")})
+        handle = driver.new()
+        model: list[int] = []
+        try:
+            for op in ops:
+                if op == "pop":
+                    if model:
+                        assert driver.pop(handle) == model.pop()
+                elif op == "clear":
+                    driver.clear(handle)
+                    model.clear()
+                else:
+                    driver.push(handle, op)
+                    model.append(op)
+                assert driver.size(handle) == len(model)
+                for i, expected in enumerate(model):
+                    assert driver.get(handle, i) == expected
+        finally:
+            driver.destroy(handle)

@@ -1,0 +1,122 @@
+"""Image(PixelType) tests — the §2 parameterized type example."""
+
+import numpy as np
+import pytest
+
+from repro import float32, float64, terra, uint8
+from repro.core import types as T
+from repro.lib.image import Image, read_image_file, write_image_file
+
+
+class TestTypeFactory:
+    def test_memoized(self):
+        assert Image(float32) is Image(float32)
+
+    def test_distinct_per_pixel_type(self):
+        assert Image(float32) is not Image(float64)
+
+    def test_layout(self):
+        img = Image(float32)
+        assert img.entry_type("data") is T.pointer(float32)
+        assert img.entry_type("N") is T.int32
+
+    def test_methods_present(self):
+        img = Image(uint8)
+        for m in ("init", "get", "set", "free", "load", "save", "fill"):
+            assert m in img.methods, m
+
+
+class TestInMemory:
+    @pytest.mark.parametrize("pixel,pyval", [(float32, 2.5), (uint8, 200)])
+    def test_init_set_get(self, pixel, pyval, backend):
+        Img = Image(pixel)
+        f = terra("""
+        terra f(n : int) : PT
+          var img : Img
+          img:init(n)
+          img:fill([PT](0))
+          img:set(1, 2, [v])
+          var out = img:get(1, 2)
+          img:free()
+          return out
+        end
+        """, env={"Img": Img, "PT": pixel, "v": pyval})
+        assert f.compile(backend)(8) == pyval
+
+    def test_get_uses_row_major(self, backend):
+        Img = Image(float32)
+        f = terra("""
+        terra f() : float
+          var img : Img
+          img:init(4)
+          for i = 0, 16 do img.data[i] = [float](i) end
+          var v = img:get(2, 3)    -- row 2, col 3 -> index 11
+          img:free()
+          return v
+        end
+        """, env={"Img": Img})
+        assert f.compile(backend)() == 11.0
+
+
+class TestFileIO:
+    def test_python_roundtrip(self, tmp_path):
+        data = np.arange(16, dtype=np.float32).reshape(4, 4)
+        path = str(tmp_path / "img.timg")
+        write_image_file(path, data)
+        assert np.array_equal(read_image_file(path), data)
+
+    def test_terra_save_python_read(self, tmp_path):
+        Img = Image(float32)
+        path = str(tmp_path / "saved.timg")
+        f = terra("""
+        terra f(path : rawstring, n : int) : bool
+          var img : Img
+          img:init(n)
+          for i = 0, n * n do img.data[i] = [float](i) * 0.5f end
+          var ok = img:save(path)
+          img:free()
+          return ok
+        end
+        """, env={"Img": Img})
+        assert f(path, 4) is True
+        loaded = read_image_file(path)
+        assert np.allclose(loaded, np.arange(16).reshape(4, 4) * 0.5)
+
+    def test_python_write_terra_read(self, tmp_path):
+        Img = Image(float32)
+        path = str(tmp_path / "tosum.timg")
+        data = np.ones((8, 8), dtype=np.float32) * 2.0
+        write_image_file(path, data)
+        f = terra("""
+        terra f(path : rawstring) : float
+          var img : Img
+          if not img:load(path) then return -1.f end
+          var s = 0.f
+          for i = 0, img.N * img.N do s = s + img.data[i] end
+          img:free()
+          return s
+        end
+        """, env={"Img": Img})
+        assert f(path) == 128.0
+
+    def test_load_missing_file(self):
+        Img = Image(float32)
+        f = terra("""
+        terra f(path : rawstring) : bool
+          var img : Img
+          return img:load(path)
+        end
+        """, env={"Img": Img})
+        assert f("/nonexistent/path.timg") is False
+
+    def test_load_wrong_pixel_size(self, tmp_path):
+        path = str(tmp_path / "f64.timg")
+        write_image_file(path, np.zeros((4, 4), dtype=np.float64))
+        Img = Image(float32)
+        f = terra("""
+        terra f(path : rawstring) : bool
+          var img : Img
+          return img:load(path)
+        end
+        """, env={"Img": Img})
+        assert f(path) is False

@@ -1,0 +1,77 @@
+"""terralib compatibility namespace tests — paper-style code reads as-is."""
+
+import pytest
+
+from repro import int_, functype, terra
+from repro.core import types as T
+from repro.lib.stdlib import List, newlist, terralib
+
+
+class TestTerralibNamespace:
+    def test_includec_through_namespace(self):
+        std = terralib.includec("stdlib.h")
+        f = terra("""
+        terra f() : int
+          var p = [&int](std.malloc(4))
+          @p = 7
+          var v = @p
+          std.free(p)
+          return v
+        end
+        """, env={"std": std})
+        assert f() == 7
+
+    def test_newlist_insert_like_the_paper(self):
+        # Fig. 5: loadc:insert(quote ... end)
+        from repro import quote_, symbol
+        acc = symbol(int_, "acc")
+        loadc = terralib.newlist()
+        for i in range(3):
+            loadc.insert(quote_("[acc] = [acc] + [i]"))
+        f = terra("""
+        terra f() : int
+          var [acc] = 0
+          [loadc]
+          return [acc]
+        end
+        """)
+        assert f() == 3
+
+    def test_list_map(self):
+        params = newlist([T.int32, T.float64])
+        from repro import symbol
+        syms = params.map(symbol)
+        assert all(terralib.issymbol(s) for s in syms)
+        assert syms[0].type is T.int32
+
+    def test_predicates(self):
+        f = terra("terra f() : int return 1 end")
+        assert terralib.isfunction(f)
+        assert not terralib.isfunction(42)
+        assert terralib.istype(T.int32)
+        from repro import expr, symbol
+        assert terralib.isquote(expr("1"))
+        assert terralib.issymbol(symbol())
+        assert terralib.israwlist([1, 2])
+
+    def test_offsetof(self):
+        S = terralib.struct("struct OffS { a : int8, b : int64 }")
+        assert terralib.offsetof(S, "b") == 8
+
+    def test_cast_wraps_python_function(self):
+        cb = terralib.cast(functype([int_], int_), lambda x: x + 100)
+        f = terra("terra f(v : int) : int return cb(v) end", env={"cb": cb})
+        assert f(1) == 101
+
+    def test_types_table(self):
+        tt = terralib.types
+        assert tt.pointer(T.int32).ispointer()
+        fp = tt.funcpointer([T.int32], [T.int32])
+        assert fp.ispointer() and fp.pointee.isfunction()
+
+    def test_namespace_sugar_from_terra(self):
+        # terralib itself resolves through the nested-table sugar
+        from repro.lib.stdlib import terralib as tl
+        c = tl.constant(T.int32, 9)
+        f = terra("terra f() : int return [c] end")
+        assert f() == 9

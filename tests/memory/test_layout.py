@@ -1,0 +1,126 @@
+"""Typed load/store (pack/unpack) tests with hypothesis round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import types as T
+from repro.errors import TrapError
+from repro.memory import layout
+
+INT_TYPES = [T.int8, T.int16, T.int32, T.int64,
+             T.uint8, T.uint16, T.uint32, T.uint64]
+
+
+class TestWrapInt:
+    def test_in_range(self):
+        assert layout.wrap_int(100, T.int8) == 100
+
+    def test_signed_overflow(self):
+        assert layout.wrap_int(128, T.int8) == -128
+        assert layout.wrap_int(-129, T.int8) == 127
+
+    def test_unsigned_wrap(self):
+        assert layout.wrap_int(256, T.uint8) == 0
+        assert layout.wrap_int(-1, T.uint8) == 255
+
+    @given(st.sampled_from(INT_TYPES), st.integers())
+    def test_always_in_range(self, ty, value):
+        w = layout.wrap_int(value, ty)
+        assert ty.min_value() <= w <= ty.max_value()
+
+    @given(st.sampled_from(INT_TYPES), st.integers())
+    def test_idempotent(self, ty, value):
+        w = layout.wrap_int(value, ty)
+        assert layout.wrap_int(w, ty) == w
+
+
+class TestPackUnpack:
+    @given(st.sampled_from(INT_TYPES), st.integers())
+    def test_int_roundtrip(self, ty, value):
+        wrapped = layout.wrap_int(value, ty)
+        data = layout.pack_value(wrapped, ty)
+        assert len(data) == ty.sizeof()
+        assert layout.unpack_value(data, ty) == wrapped
+
+    @given(st.floats(allow_nan=False, width=32))
+    def test_float32_roundtrip(self, value):
+        data = layout.pack_value(value, T.float32)
+        assert layout.unpack_value(data, T.float32) == value
+
+    @given(st.floats(allow_nan=False))
+    def test_float64_roundtrip(self, value):
+        data = layout.pack_value(value, T.float64)
+        assert layout.unpack_value(data, T.float64) == value
+
+    def test_nan_roundtrip(self):
+        data = layout.pack_value(float("nan"), T.float64)
+        assert math.isnan(layout.unpack_value(data, T.float64))
+
+    @given(st.booleans())
+    def test_bool_roundtrip(self, value):
+        data = layout.pack_value(value, T.bool_)
+        assert layout.unpack_value(data, T.bool_) is value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_pointer_roundtrip(self, addr):
+        ptr = T.pointer(T.int32)
+        data = layout.pack_value(addr, ptr)
+        assert layout.unpack_value(data, ptr) == addr
+
+    @given(st.lists(st.floats(allow_nan=False, width=32),
+                    min_size=4, max_size=4))
+    def test_vector_roundtrip(self, values):
+        v = T.vector(T.float32, 4)
+        data = layout.pack_value(values, v)
+        assert len(data) == v.sizeof()
+        assert layout.unpack_value(data, v) == values
+
+    def test_vector_length_mismatch(self):
+        with pytest.raises(TrapError):
+            layout.pack_value([1.0, 2.0], T.vector(T.float32, 4))
+
+    def test_aggregate_blob(self):
+        s = T.struct("B", [("x", T.int32), ("y", T.int32)])
+        blob = bytes(8)
+        assert layout.pack_value(blob, s) == blob
+        with pytest.raises(TrapError):
+            layout.pack_value(bytes(4), s)
+
+    def test_float32_rounding(self):
+        # values round to single precision on store
+        stored = layout.unpack_value(
+            layout.pack_value(1.0000001, T.float32), T.float32)
+        assert stored == layout.round_float(1.0000001, T.float32)
+
+
+class TestZeroValue:
+    def test_primitives(self):
+        assert layout.zero_value(T.int32) == 0
+        assert layout.zero_value(T.float64) == 0.0
+        assert layout.zero_value(T.bool_) is False
+
+    def test_pointer(self):
+        assert layout.zero_value(T.pointer(T.int8)) == 0
+
+    def test_vector(self):
+        assert layout.zero_value(T.vector(T.int32, 4)) == [0, 0, 0, 0]
+
+    def test_aggregate(self):
+        s = T.struct("Z", [("a", T.int64), ("b", T.int8)])
+        assert layout.zero_value(s) == bytes(s.sizeof())
+
+
+class TestTypedMemory:
+    def test_struct_fields(self):
+        from repro.memory.flatmem import Memory
+        mem = Memory()
+        tm = layout.TypedMemory(mem)
+        s = T.struct("TM", [("a", T.int8), ("b", T.float64)])
+        region = mem.map_region(s.sizeof(), "heap", s.alignof())
+        tm.store(region.start, bytes(s.sizeof()), s)
+        tm.store_field(region.start, s, "a", -5)
+        tm.store_field(region.start, s, "b", 2.5)
+        assert tm.load_field(region.start, s, "a") == -5
+        assert tm.load_field(region.start, s, "b") == 2.5

@@ -1,0 +1,99 @@
+"""Orion front-end unit tests: IR construction via operator overloading."""
+
+import pytest
+
+from repro.errors import TerraError
+from repro.orion import lang as L
+
+
+class TestExpressionBuilding:
+    def test_image_is_stage(self):
+        f = L.image("f")
+        assert f.is_input and f.name == "f"
+
+    def test_shift_creates_read(self):
+        f = L.image("f")
+        r = f(1, -2)
+        assert isinstance(r, L.Read)
+        assert (r.dx, r.dy) == (1, -2) and r.stage is f
+
+    def test_shift_composition(self):
+        f = L.image("f")
+        r = f(1, 0)(2, 3)
+        assert (r.dx, r.dy) == (3, 3)
+        assert r.stage is f  # no new stage created
+
+    def test_arithmetic_builds_binops(self):
+        f = L.image("f")
+        e = f(0, 0) * 2 + 1
+        assert isinstance(e, L.BinOp) and e.op == "+"
+        assert isinstance(e.lhs, L.BinOp) and e.lhs.op == "*"
+        assert isinstance(e.rhs, L.Const) and e.rhs.value == 1.0
+
+    def test_reflected_operators(self):
+        f = L.image("f")
+        e = 2.0 / (1 - f(0, 0))
+        assert isinstance(e, L.BinOp) and e.op == "/"
+        assert isinstance(e.lhs, L.Const)
+
+    def test_negation(self):
+        f = L.image("f")
+        e = -f(0, 0)
+        assert isinstance(e, L.BinOp) and e.op == "-"
+        assert e.lhs.value == 0.0
+
+    def test_stage_arithmetic_reads_origin(self):
+        f = L.image("f")
+        s = L.stage(f(0, 0) + 1, "s")
+        e = s * 2  # bare stage in arithmetic = s(0,0)
+        assert isinstance(e.lhs, L.Read)
+        assert (e.lhs.dx, e.lhs.dy) == (0, 0)
+
+    def test_min_max_clamp(self):
+        f = L.image("f")
+        e = L.clamp(f(0, 0), 0.0, 1.0)
+        assert e.op == "min" and e.lhs.op == "max"
+
+    def test_shifting_expr_stages_it(self):
+        """The paper's diffuse pattern: x(-1,0) on a compound expression
+        implicitly makes it a schedulable stage."""
+        f = L.image("f")
+        e = f(0, 0) * 0.5
+        r = e(-1, 0)
+        assert isinstance(r, L.Read)
+        assert not r.stage.is_input
+        assert r.stage.expr is e
+
+    def test_as_stage_idempotent_on_origin_read(self):
+        f = L.image("f")
+        assert L.as_stage(f(0, 0)) is f
+
+    def test_named_stage_policy(self):
+        f = L.image("f")
+        s = L.stage(f(0, 0) + 1, "blur", policy=L.LINEBUFFER)
+        assert s.default_policy == L.LINEBUFFER
+
+    def test_bounded_flag(self):
+        f = L.image("f")
+        s = L.stage(f(0, 0) + 1, "b", bounded=True)
+        assert s.bounded
+
+    def test_bad_policy_rejected(self):
+        f = L.image("f")
+        with pytest.raises(TerraError, match="policy"):
+            L.stage(f(0, 0), "x", policy="cache")
+
+    def test_bad_operand(self):
+        f = L.image("f")
+        with pytest.raises(TerraError):
+            f(0, 0) + "nope"
+
+    def test_param(self):
+        p = L.param("gain")
+        assert isinstance(p, L.Param)
+        e = L.image("f")(0, 0) * p
+        assert isinstance(e.rhs, L.Param)
+
+    def test_unique_stage_ids(self):
+        ids = {L.image(f"im{i}").id for i in range(10)}
+        assert len(ids) == 10
