@@ -1,8 +1,9 @@
 # Convenience targets for the Terra reproduction.
 
 PYTHON ?= python3
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench report examples clean
+.PHONY: install test check bench bench-compile report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -10,11 +11,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/ -q
 
+check:  # the tier-1 gate: full test suite + a buildd CLI smoke
+	$(PYTHON) -m pytest tests/ -x -q
+	$(PYTHON) -m repro.buildd --stats
+	$(PYTHON) -m repro.buildd --gc
+
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-compile:  # serial vs. parallel tuner compile wall-clock (buildd)
+	$(PYTHON) -m pytest benchmarks/test_compile_throughput.py -p no:benchmark -q -s
 
 bench-shapes:  # the paper-shape assertions (who wins, by how much)
 	$(PYTHON) -m pytest benchmarks/ -p no:benchmark -q -k "shape or correctness or results or identical or agree"

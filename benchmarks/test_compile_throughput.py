@@ -1,0 +1,132 @@
+"""Compile-throughput: serial vs. parallel candidate compilation.
+
+The §6.1 auto-tuner's wall-clock is dominated by JIT-compiling candidate
+kernels; ``repro.buildd`` turns that into pooled, cached builds.  This
+file measures the three claims directly:
+
+* a jobs=N pool compiles a candidate set faster than a jobs=1 pool
+  (speedup scales with cores; on a single-core host it is ~parity),
+* a warm cache skips every compiler invocation (hit rate 1.0),
+* the tuner's candidate sweep goes through the pool (stats counters).
+
+Run with ``pytest benchmarks/test_compile_throughput.py -p no:benchmark
+-q -s`` (plain timing, no pytest-benchmark dependency on the hot path).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.buildd import cc_available
+from repro.buildd.cache import ArtifactCache
+from repro.buildd.service import CompileService
+
+pytestmark = pytest.mark.skipif(not cc_available(), reason="no C compiler")
+
+#: a small cross-section of the tuner's search space (NB, RM, RN, V)
+CANDIDATES = [(16, 2, 1, 2), (16, 2, 2, 2), (16, 4, 1, 2),
+              (32, 2, 2, 2), (32, 4, 1, 2), (32, 4, 2, 2)]
+
+
+@pytest.fixture(scope="module")
+def kernel_sources():
+    """The generated C for each candidate's L1 kernel (staged once)."""
+    from repro.autotune.genkernel import genkernel
+    sources = []
+    for NB, RM, RN, V in CANDIDATES:
+        kern = genkernel(NB, RM, RN, V, 0.0)
+        sources.append(kern.get_c_source())
+    assert len(set(sources)) == len(sources)
+    return sources
+
+
+def _compile_all(svc, sources):
+    t0 = time.perf_counter()
+    futs = [svc.compile_async(src) for src in sources]
+    for fut in futs:
+        fut.result()
+    return time.perf_counter() - t0
+
+
+def test_parallel_vs_serial_compile(tmp_path, kernel_sources):
+    """Cold-cache compile of the candidate set through jobs=1 vs jobs=N
+    pools; prints the wall-clocks and asserts parallel is no slower
+    (and strictly faster on multi-core hosts)."""
+    jobs = min(4, max(1, os.cpu_count() or 1))
+    serial = CompileService(
+        jobs=1, cache=ArtifactCache(root=str(tmp_path / "serial")))
+    parallel = CompileService(
+        jobs=jobs, cache=ArtifactCache(root=str(tmp_path / "parallel")))
+    try:
+        t_serial = _compile_all(serial, kernel_sources)
+        t_parallel = _compile_all(parallel, kernel_sources)
+        n = len(kernel_sources)
+        print(f"\ncompile throughput ({n} candidate kernels, cold cache):")
+        print(f"  jobs=1    {t_serial:8.3f} s"
+              f"   ({serial.stats.snapshot()['compile_seconds']:.3f} s in cc)")
+        print(f"  jobs={jobs}    {t_parallel:8.3f} s"
+              f"   ({parallel.stats.snapshot()['compile_seconds']:.3f} s in cc)")
+        if t_parallel > 0:
+            print(f"  speedup   {t_serial / t_parallel:8.2f}x")
+        assert serial.stats.snapshot()["compiles"] == n
+        assert parallel.stats.snapshot()["compiles"] == n
+        if jobs > 1:
+            # generous slack: scheduling noise must not fail CI, but the
+            # pool must not be slower than the serial path
+            assert t_parallel < t_serial * 1.10, \
+                f"parallel ({t_parallel:.3f}s) slower than serial " \
+                f"({t_serial:.3f}s) with jobs={jobs}"
+    finally:
+        serial.shutdown()
+        parallel.shutdown()
+
+
+def test_warm_cache_skips_all_compiles(tmp_path, kernel_sources):
+    """A second identical sweep must be served entirely from the cache."""
+    svc = CompileService(jobs=2,
+                         cache=ArtifactCache(root=str(tmp_path / "warm")))
+    try:
+        t_cold = _compile_all(svc, kernel_sources)
+        cold = svc.stats.snapshot()
+        t_warm = _compile_all(svc, kernel_sources)
+        warm = svc.stats.snapshot()
+        print(f"\ncold sweep {t_cold:.3f} s, warm sweep {t_warm:.3f} s")
+        assert cold["compiles"] == len(kernel_sources)
+        assert warm["compiles"] == cold["compiles"]  # zero new cc runs
+        assert warm["cache_hits"] - cold["cache_hits"] == len(kernel_sources)
+        assert t_warm < t_cold / 10
+    finally:
+        svc.shutdown()
+
+
+def test_tuner_compiles_through_pool(tmp_path):
+    """End-to-end: ``tune()`` routes candidate kernels through the service
+    and a warm rerun of the same sweep recompiles nothing."""
+    import repro.buildd.service as service_mod
+    from repro.autotune.tuner import Candidate, tune
+
+    saved = service_mod._service
+    svc = service_mod._service = CompileService(
+        jobs=min(4, max(1, os.cpu_count() or 1)),
+        cache=ArtifactCache(root=str(tmp_path / "tuner")))
+    try:
+        cands = [Candidate(16, 2, 1, 2), Candidate(16, 2, 2, 2),
+                 Candidate(16, 4, 1, 2)]
+        t0 = time.perf_counter()
+        tune(test_size=48, candidate_list=cands, repeats=1)
+        t_cold = time.perf_counter() - t0
+        cold = svc.stats.snapshot()
+        t0 = time.perf_counter()
+        tune(test_size=48, candidate_list=cands, repeats=1)
+        t_warm = time.perf_counter() - t0
+        warm = svc.stats.snapshot()
+        print(f"\ntuner sweep: cold {t_cold:.3f} s "
+              f"({cold['compiles']} compiles), warm {t_warm:.3f} s "
+              f"({warm['compiles'] - cold['compiles']} compiles)")
+        assert cold["compiles"] >= len(cands)
+        assert warm["compiles"] == cold["compiles"]
+        assert warm["hit_rate"] > 0
+    finally:
+        service_mod._service = saved
+        svc.shutdown()

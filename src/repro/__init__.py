@@ -32,6 +32,9 @@ Public surface
 * intrinsics: ``prefetch, fence, sqrt, fabs, fmin, fmax``, :data:`sizeof`
 * C interop: :func:`includec`, :func:`saveobj` (see :mod:`repro.cinterop`)
 * backends: :func:`set_default_backend` (``"c"`` or ``"interp"``)
+* compile service: :mod:`repro.buildd` — pooled parallel compilation
+  (``fn.compile_async()``), a content-addressed artifact cache, and
+  telemetry (``repro.buildd.stats()``, ``python -m repro.buildd``)
 """
 
 from __future__ import annotations

@@ -18,13 +18,32 @@ from ..core import types as T
 from .genkernel import genkernel
 
 
+def _start_compile(gemm, fma: bool, async_compile: bool) -> None:
+    """Kick off the kernel's native build: blocking by default, or
+    submitted to the buildd pool (``async_compile=True``) so many
+    candidate kernels compile concurrently — the first call joins the
+    pending build.  FMA contraction flags are captured at submission."""
+    from ..backend.c.runtime import extra_cflags
+    if fma:
+        with extra_cflags("-ffp-contract=fast"):
+            if async_compile:
+                gemm.compile_async("c")
+            else:
+                gemm.compile("c")
+    elif async_compile:
+        gemm.compile_async("c")
+
+
 def make_gemm(NB: int, RM: int, RN: int, V: int, elem: T.Type = double,
-              use_prefetch: bool = True, fma: bool = True):
+              use_prefetch: bool = True, fma: bool = True,
+              async_compile: bool = False):
     """Build ``gemm(C, A, B, N)`` (N must be a multiple of NB).
 
     ``fma=True`` compiles the kernel with fused multiply-add contraction
     (what a hand-tuned BLAS uses on FMA hardware); pass False for strict
-    per-operation IEEE results.
+    per-operation IEEE results.  ``async_compile=True`` returns while gcc
+    still runs on the :mod:`repro.buildd` pool (the auto-tuner uses this
+    to overlap candidate compilation with timing runs).
     """
     l1_first = genkernel(NB, RM, RN, V, 0.0, elem, use_prefetch)
     l1_accum = genkernel(NB, RM, RN, V, 1.0, elem, use_prefetch)
@@ -40,16 +59,13 @@ def make_gemm(NB: int, RM: int, RN: int, V: int, elem: T.Type = double,
       end
     end
     """, env=dict(elem=elem, NB=NB, l1_first=l1_first, l1_accum=l1_accum))
-    if fma:
-        from ..backend.c.runtime import extra_cflags
-        with extra_cflags("-ffp-contract=fast"):
-            gemm.compile("c")
+    _start_compile(gemm, fma, async_compile)
     return gemm
 
 
 def make_gemm_packed(NB: int, RM: int, RN: int, V: int,
                      elem: T.Type = double, use_prefetch: bool = True,
-                     fma: bool = True):
+                     fma: bool = True, async_compile: bool = False):
     """Blocked GEMM with ATLAS-style panel packing.
 
     Each L1 block of A and B is copied into a contiguous scratch buffer
@@ -121,10 +137,7 @@ def make_gemm_packed(NB: int, RM: int, RN: int, V: int,
     end
     """, env=dict(elem=elem, NB=NB, l1_first=l1_first, l1_accum=l1_accum,
                   std=std, zeroconst=_zero(elem)))
-    if fma:
-        from ..backend.c.runtime import extra_cflags
-        with extra_cflags("-ffp-contract=fast"):
-            gemm.compile("c")
+    _start_compile(gemm, fma, async_compile)
     return gemm
 
 

@@ -96,11 +96,19 @@ def time_gemm(gemm, N: int, elem: T.Type = double, repeats: int = 3,
 def tune(test_size: int = 512, elem: T.Type = double,
          candidate_list: Optional[Sequence[Candidate]] = None,
          repeats: int = 3, verify: bool = True,
-         verbose: bool = False, packed: bool = True) -> TuneResult:
+         verbose: bool = False, packed: bool = True,
+         parallel_compile: bool = True) -> TuneResult:
     """Search the configuration space and return the best staged GEMM.
 
     ``packed=True`` (default) uses the ATLAS-style panel-packing driver
-    around the staged kernel; ``packed=False`` multiplies in place."""
+    around the staged kernel; ``packed=False`` multiplies in place.
+
+    With ``parallel_compile=True`` (default) every candidate kernel is
+    submitted to the :mod:`repro.buildd` compile pool *up front*, so gcc
+    runs for later candidates overlap the timing runs of earlier ones
+    (and, with ``REPRO_BUILDD_JOBS>1``, each other).  A warm artifact
+    cache skips the compiles entirely — check
+    ``repro.buildd.stats()["hit_rate"]`` after a sweep."""
     cands = list(candidate_list if candidate_list is not None
                  else candidates(elem))
     dtype = np.float64 if elem is double else np.float32
@@ -109,12 +117,17 @@ def tune(test_size: int = 512, elem: T.Type = double,
     best: Optional[Candidate] = None
     best_gflops = -1.0
     best_gemm = None
-    for cand in cands:
-        if test_size % cand.NB:
-            continue
-        maker = make_gemm_packed if packed else make_gemm
+    maker = make_gemm_packed if packed else make_gemm
+    feasible = [cand for cand in cands if test_size % cand.NB == 0]
+    # stage every candidate first; with parallel_compile each staged kernel
+    # is already building on the pool while the next one is staged (the
+    # paper's "JIT-compiles the code" step, made concurrent)
+    staged: list[tuple[Candidate, object]] = []
+    for cand in feasible:
         gemm = maker(cand.NB, cand.RM, cand.RN, cand.V, elem,
-                     cand.use_prefetch)
+                     cand.use_prefetch, async_compile=parallel_compile)
+        staged.append((cand, gemm))
+    for cand, gemm in staged:
         if verify:
             n = cand.NB * 2
             A = rng.rand(n, n).astype(dtype)

@@ -15,11 +15,48 @@ The default backend is ``"c"`` when a C compiler is present, else
 
 from __future__ import annotations
 
+import threading
+from typing import Callable, Optional
+
 import os
-import shutil
-from typing import Optional
 
 from ..errors import CompileError
+
+
+class CompileTicket:
+    """A future-like handle to an in-progress unit compilation.
+
+    ``result()`` blocks until the underlying build finishes, applies the
+    (memoized) binding step exactly once, and returns the callable handle.
+    Backends without real async compilation return already-resolved
+    tickets via :meth:`completed`.
+    """
+
+    def __init__(self, future=None, mapper: Optional[Callable] = None):
+        self._future = future
+        self._mapper = mapper
+        self._lock = threading.Lock()
+        self._resolved = False
+        self._value = None
+
+    @classmethod
+    def completed(cls, value) -> "CompileTicket":
+        ticket = cls()
+        ticket._resolved = True
+        ticket._value = value
+        return ticket
+
+    def done(self) -> bool:
+        return self._resolved or (self._future is not None
+                                  and self._future.done())
+
+    def result(self, timeout: Optional[float] = None):
+        with self._lock:
+            if not self._resolved:
+                raw = self._future.result(timeout)
+                self._value = self._mapper(raw) if self._mapper else raw
+                self._resolved = True
+            return self._value
 
 
 class Backend:
@@ -32,6 +69,13 @@ class Backend:
         TerraFunctions, fn first) and return a Python-callable handle for
         ``fn``."""
         raise NotImplementedError
+
+    def compile_unit_async(self, fn, component) -> CompileTicket:
+        """Start compiling the unit without waiting for it; the returned
+        ticket's ``result()`` yields the callable handle.  The default
+        compiles synchronously (interpreter "compilation" is cheap); the C
+        backend overrides this to run gcc on the buildd pool."""
+        return CompileTicket.completed(self.compile_unit(fn, component))
 
     # -- globals ------------------------------------------------------------
     def materialize_global(self, glob):
@@ -49,7 +93,8 @@ _default_name: Optional[str] = None
 
 
 def _cc_available() -> bool:
-    return shutil.which("gcc") is not None or shutil.which("cc") is not None
+    from ..buildd import toolchain
+    return toolchain.cc_available()
 
 
 def get_backend(name: str) -> Backend:

@@ -52,13 +52,21 @@ class CEmitter:
         self.lines: list[str] = []
         self.indent = 0
         self._tmp = itertools.count(1)
+        self._sym_names: dict[int, str] = {}
         self._struct_names: dict[int, str] = {}
         self._struct_list: list[T.StructType] = []
         self._array_names: dict[int, str] = {}
         self._array_list: list[T.ArrayType] = []
         self._vector_names: dict[int, str] = {}
         self._vector_list: list[T.VectorType] = []
+        # deterministic unit-local function names, assigned in component
+        # (discovery) order rather than from the process-global uid counter:
+        # identically-staged units then emit byte-identical C, so the
+        # content-addressed artifact cache hits across reruns and processes.
         self.fn_names: dict[int, str] = {}
+        for index, f in enumerate(component):
+            if not f.is_external:
+                self.fn_names[f.uid] = f"tfn{index}_{_sanitize(f.name)}"
 
     # ==================================================================
     # naming / type spelling
@@ -67,7 +75,7 @@ class CEmitter:
         if fn.is_external:
             return fn.external_name
         name = self.fn_names.get(fn.uid)
-        if name is None:
+        if name is None:  # defensive: everything emitted is in the component
             name = f"tfn{fn.uid}_{_sanitize(fn.name)}"
             self.fn_names[fn.uid] = name
         return name
@@ -316,9 +324,14 @@ class CEmitter:
             params = "void"
         return f"{self.ctype(typed.type.returntype)} {self.fn_name(fn)}({params})"
 
-    @staticmethod
-    def _sym(symbol) -> str:
-        return f"s{symbol.id}_{_sanitize(symbol.displayname or 'v')}"
+    def _sym(self, symbol) -> str:
+        # unit-local ordinal names (not the process-global symbol id), so
+        # identically-staged units emit byte-identical C and content-cache
+        name = self._sym_names.get(symbol.id)
+        if name is None:
+            name = f"s{len(self._sym_names)}_{_sanitize(symbol.displayname or 'v')}"
+            self._sym_names[symbol.id] = name
+        return name
 
     # ==================================================================
     # function bodies

@@ -2,59 +2,43 @@
 
 The analog of Terra's LLVM JIT path: a connected component of typechecked
 functions is emitted as one C translation unit, compiled to a shared
-object with ``gcc -O3 -march=native``, loaded with ctypes, and cached by
-source hash so identical code never rebuilds.
+object with ``gcc -O3 -march=native``, loaded with ctypes, and cached so
+identical code never rebuilds.
+
+Compilation itself is owned by :mod:`repro.buildd` — the in-process
+compile service with a thread pool, a content-addressed artifact cache
+(keyed on source, flags, *and* compiler identity), in-flight request
+dedup, and telemetry.  This module keeps thin compatibility wrappers
+(:func:`compile_shared`, :func:`find_cc`, :func:`cache_dir`) plus the
+ctypes binding layer, and adds :meth:`CBackend.compile_unit_async` so
+callers (the auto-tuner, Orion) can overlap compilation with other work.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import subprocess
-import tempfile
 
+from ...buildd import get_service
+from ...buildd import toolchain as _toolchain
+from ...buildd.service import DEFAULT_CFLAGS  # noqa: F401  (re-export)
 from ...core import types as T
 from ...errors import CompileError, FFIError
 from ...ffi import convert
 from ...memory import layout
-from ..base import Backend
+from ..base import Backend, CompileTicket
 from . import abi
 from .emit import CEmitter
 
-_CACHE_DIR = None
-
 
 def cache_dir() -> str:
-    global _CACHE_DIR
-    if _CACHE_DIR is None:
-        base = os.environ.get("REPRO_TERRA_CACHE")
-        if base is None:
-            base = os.path.join(tempfile.gettempdir(),
-                                f"repro-terra-{os.getuid()}")
-        os.makedirs(base, exist_ok=True)
-        _CACHE_DIR = base
-    return _CACHE_DIR
+    """The artifact cache root (compatibility wrapper for buildd)."""
+    return get_service().cache.root
 
 
 def find_cc() -> str:
-    import shutil
-    for cc in ("gcc", "cc"):
-        path = shutil.which(cc)
-        if path:
-            return path
-    raise CompileError("no C compiler found (need gcc or cc in PATH)")
+    """The C compiler path (compatibility wrapper for buildd.toolchain)."""
+    return _toolchain.find_cc()
 
-
-# -fwrapv: Terra's integer semantics wrap at the type's width (LLVM adds
-# without nsw); the reference interpreter implements exactly that, so the
-# C backend must not treat signed overflow as undefined.
-# -ffp-contract=off: per-operation IEEE semantics (LLVM's default, and
-# what the interpreter computes); gcc would otherwise fuse a*b+c into FMA.
-# Pass extra_cflags("-ffp-contract=fast") to opt back in per unit.
-DEFAULT_CFLAGS = ["-O3", "-march=native", "-fPIC", "-shared",
-                  "-fno-strict-aliasing", "-fno-semantic-interposition",
-                  "-fwrapv", "-ffp-contract=off", "-w"]
 
 #: extra flags applied to subsequently-compiled units (see extra_cflags)
 _EXTRA_CFLAGS: list[str] = []
@@ -71,6 +55,10 @@ def extra_cflags(*flags: str):
     (``-fno-tree-vectorize``) when reproducing the paper's scalar
     baselines — modern gcc auto-vectorizes stencil loops that 2013
     compilers left scalar.
+
+    Flags are captured when the unit is *submitted* for compilation (they
+    are part of its cache key), so async compiles started inside the block
+    keep the flags even if they finish after it exits.
     """
     _EXTRA_CFLAGS.extend(flags)
     try:
@@ -80,24 +68,13 @@ def extra_cflags(*flags: str):
 
 
 def compile_shared(source: str, extra_flags: tuple[str, ...] = ()) -> str:
-    """Compile C source to a cached shared object; returns the .so path."""
-    key = hashlib.sha256(
-        source.encode() + b"\0" + "\0".join(extra_flags).encode()).hexdigest()[:24]
-    so_path = os.path.join(cache_dir(), f"unit_{key}.so")
-    if os.path.exists(so_path):
-        return so_path
-    c_path = os.path.join(cache_dir(), f"unit_{key}.c")
-    with open(c_path, "w") as f:
-        f.write(source)
-    cmd = [find_cc(), *DEFAULT_CFLAGS, *extra_flags, c_path, "-o",
-           so_path + ".tmp", "-lm"]
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        raise CompileError(
-            f"gcc failed ({proc.returncode}):\n{proc.stderr}\n"
-            f"--- generated C ({c_path}) ---\n{source}")
-    os.replace(so_path + ".tmp", so_path)
-    return so_path
+    """Compile C source to a cached shared object; returns the .so path.
+
+    Routed through the :mod:`repro.buildd` service: cached artifacts are
+    returned immediately, concurrent identical requests share one compile,
+    and publication is atomic (unique temp name + ``os.replace``).
+    """
+    return get_service().compile(source, extra_flags)
 
 
 class CompiledFunction:
@@ -175,9 +152,28 @@ class CBackend(Backend):
         emitter = CEmitter(component, self)
         source = emitter.emit_unit()
         so_path = compile_shared(source, tuple(_EXTRA_CFLAGS))
+        return self._bind_unit(fn, component, emitter, so_path)
+
+    def compile_unit_async(self, fn, component):
+        """Submit the unit to the buildd pool; returns a
+        :class:`~repro.backend.base.CompileTicket` whose ``result()``
+        binds the shared object and yields ``fn``'s callable handle.
+
+        Source emission and flag capture happen synchronously (in the
+        caller's thread, so :func:`extra_cflags` blocks behave), only the
+        compiler run overlaps."""
+        emitter = CEmitter(component, self)
+        source = emitter.emit_unit()
+        future = get_service().compile_async(source, tuple(_EXTRA_CFLAGS))
+        return CompileTicket(
+            future, lambda so: self._bind_unit(fn, component, emitter, so))
+
+    def _bind_unit(self, fn, component, emitter, so_path):
+        """ctypes-load a compiled unit and cache handles for every function
+        in it; returns the entry function's handle.  Safe to call twice for
+        the same unit (handles install with setdefault)."""
         lib = ctypes.CDLL(so_path)
         self._libs.append(lib)
-        # bind every non-external function in the unit and cache handles
         entry_handle = None
         for f in component:
             if f.is_external:
@@ -187,8 +183,8 @@ class CBackend(Backend):
             ftype = f.typed.type
             cfn.restype = abi.ctype_for(ftype.returntype)
             cfn.argtypes = [abi.ctype_for(p) for p in ftype.parameters]
-            handle = CompiledFunction(f, cfn, ftype)
-            f._compiled.setdefault(self.name, handle)
+            handle = f._compiled.setdefault(
+                self.name, CompiledFunction(f, cfn, ftype))
             if f is fn:
                 entry_handle = handle
         if entry_handle is None:

@@ -1,0 +1,264 @@
+"""The content-addressed artifact cache.
+
+Compiled shared objects are stored under a cache root (``REPRO_TERRA_CACHE``
+or ``$TMPDIR/repro-terra-<uid>``) keyed by SHA-256 of the *full build
+input*: the C source, every compiler flag, and the compiler's identity
+hash (path + ``--version`` — see :mod:`repro.buildd.toolchain`).  Identical
+code never rebuilds, and a compiler upgrade can never serve stale objects.
+
+Publication is atomic and race-free across processes: builders write to a
+``tempfile.mkstemp`` unique name in the cache root and ``os.replace`` it
+over the final path, so a concurrent reader sees either nothing or a
+complete artifact — never a half-written one.  (The pre-buildd runtime
+wrote a *shared* ``<path>.tmp`` name, which two racing processes could
+interleave; that race is gone by construction.)
+
+A JSON index (``buildd-index.json``) records per-artifact metadata (size,
+flags, compile time, last use) and drives LRU eviction against a byte cap
+(``REPRO_BUILDD_CACHE_BYTES``, default 1 GiB).  The index is advisory: if
+it is missing, stale, or corrupted, it is rebuilt by scanning the cache
+directory, so a pre-populated or damaged cache dir degrades to a rebuild,
+never to an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Iterable, Optional
+
+DEFAULT_MAX_BYTES = 1 << 30  # 1 GiB
+INDEX_NAME = "buildd-index.json"
+INDEX_VERSION = 1
+
+#: length of the hex key used in artifact file names (matches the
+#: pre-buildd runtime so old cache dirs stay recognizable)
+KEY_LEN = 24
+
+
+def default_root() -> str:
+    base = os.environ.get("REPRO_TERRA_CACHE")
+    if base is None:
+        uid = os.getuid() if hasattr(os, "getuid") else 0
+        base = os.path.join(tempfile.gettempdir(), f"repro-terra-{uid}")
+    return base
+
+
+def default_max_bytes() -> int:
+    raw = os.environ.get("REPRO_BUILDD_CACHE_BYTES")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BYTES
+
+
+class ArtifactCache:
+    """Content-addressed store of compiled shared objects."""
+
+    def __init__(self, root: Optional[str] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        self.root = os.path.abspath(root or default_root())
+        self.max_bytes = default_max_bytes() if max_bytes is None else max_bytes
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._index: Optional[dict] = None  # key -> metadata dict
+
+    # -- keys and paths -----------------------------------------------------
+    @staticmethod
+    def key_for(source: str, flags: Iterable[str], cc_identity: str) -> str:
+        h = hashlib.sha256()
+        h.update(cc_identity.encode())
+        h.update(b"\0")
+        h.update("\0".join(flags).encode())
+        h.update(b"\0\0")
+        h.update(source.encode())
+        return h.hexdigest()[:KEY_LEN]
+
+    def artifact_path(self, key: str) -> str:
+        return os.path.join(self.root, f"unit_{key}.so")
+
+    def source_path(self, key: str) -> str:
+        return os.path.join(self.root, f"unit_{key}.c")
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, INDEX_NAME)
+
+    # -- index persistence --------------------------------------------------
+    def _load_index_locked(self) -> dict:
+        if self._index is not None:
+            return self._index
+        entries: dict = {}
+        try:
+            with open(self._index_path()) as f:
+                data = json.load(f)
+            if isinstance(data, dict) and isinstance(data.get("entries"), dict):
+                entries = data["entries"]
+        except (OSError, ValueError):
+            entries = {}  # missing or corrupted: rebuild from the dir scan
+        # adopt artifacts the index does not know about (pre-populated dir,
+        # another process's builds, or a lost/corrupted index)
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        for name in names:
+            if not (name.startswith("unit_") and name.endswith(".so")):
+                continue
+            key = name[len("unit_"):-len(".so")]
+            if key in entries:
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries[key] = {"size": st.st_size, "flags": [],
+                            "compile_s": None, "created": st.st_mtime,
+                            "last_use": st.st_mtime}
+        # drop index entries whose artifact vanished
+        entries = {k: v for k, v in entries.items()
+                   if os.path.exists(self.artifact_path(k))}
+        self._index = entries
+        return entries
+
+    def _save_index_locked(self) -> None:
+        assert self._index is not None
+        payload = {"version": INDEX_VERSION, "entries": self._index}
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".index-")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, indent=0, sort_keys=True)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- lookup / publish ---------------------------------------------------
+    def lookup(self, key: str) -> Optional[str]:
+        """Path of a cached artifact, or None.  Bumps the LRU clock."""
+        path = self.artifact_path(key)
+        with self._lock:
+            entries = self._load_index_locked()
+            if not os.path.exists(path):
+                entries.pop(key, None)
+                return None
+            entry = entries.get(key)
+            if entry is None:
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    return None
+                entry = {"size": size, "flags": [], "compile_s": None,
+                         "created": time.time()}
+                entries[key] = entry
+            entry["last_use"] = time.time()
+            return path
+
+    def publish(self, key: str, built_path: str, *, source: str = "",
+                flags: Iterable[str] = (),
+                compile_s: Optional[float] = None) -> str:
+        """Atomically install ``built_path`` (a unique temp file, consumed)
+        as the artifact for ``key``; returns the final path."""
+        final = self.artifact_path(key)
+        if source:
+            self._write_atomic(self.source_path(key), source)
+        os.replace(built_path, final)
+        size = os.path.getsize(final)
+        now = time.time()
+        with self._lock:
+            entries = self._load_index_locked()
+            entries[key] = {"size": size, "flags": list(flags),
+                            "compile_s": compile_s, "created": now,
+                            "last_use": now}
+            self._evict_locked()
+            self._save_index_locked()
+        return final
+
+    def _write_atomic(self, path: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".src-")
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+
+    def make_temp(self, suffix: str = ".so.tmp") -> str:
+        """A unique closed temp file inside the cache root (same filesystem
+        as the final path, so ``os.replace`` is atomic)."""
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".build-",
+                                   suffix=suffix)
+        os.close(fd)
+        return tmp
+
+    # -- eviction / maintenance ---------------------------------------------
+    def _evict_locked(self) -> list[str]:
+        entries = self._load_index_locked()
+        total = sum(e.get("size", 0) for e in entries.values())
+        evicted: list[str] = []
+        if self.max_bytes <= 0 or total <= self.max_bytes:
+            return evicted
+        by_age = sorted(entries.items(),
+                        key=lambda kv: kv[1].get("last_use", 0.0))
+        for key, entry in by_age:
+            if total <= self.max_bytes:
+                break
+            for path in (self.artifact_path(key), self.source_path(key)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            total -= entry.get("size", 0)
+            del entries[key]
+            evicted.append(key)
+        return evicted
+
+    def gc(self) -> dict:
+        """Evict over-cap artifacts, drop stale index entries, and delete
+        orphaned temp files; returns a summary."""
+        removed_tmp = 0
+        with self._lock:
+            self._index = None  # force a fresh scan
+            entries = self._load_index_locked()
+            evicted = self._evict_locked()
+            for name in os.listdir(self.root):
+                if name.startswith((".build-", ".src-", ".index-")) \
+                        or name.endswith(".so.tmp"):
+                    try:
+                        os.unlink(os.path.join(self.root, name))
+                        removed_tmp += 1
+                    except OSError:
+                        pass
+            self._save_index_locked()
+            kept = len(entries)
+        return {"evicted": len(evicted), "temp_files_removed": removed_tmp,
+                "artifacts": kept}
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns how many were removed."""
+        removed = 0
+        with self._lock:
+            self._index = None
+            for name in os.listdir(self.root):
+                if name == INDEX_NAME or name.startswith("unit_") \
+                        or name.startswith((".build-", ".src-", ".index-")):
+                    try:
+                        os.unlink(os.path.join(self.root, name))
+                        removed += 1
+                    except OSError:
+                        pass
+            self._index = {}
+            self._save_index_locked()
+        return removed
+
+    def summary(self) -> dict:
+        with self._lock:
+            entries = self._load_index_locked()
+            total = sum(e.get("size", 0) for e in entries.values())
+            return {"root": self.root, "artifacts": len(entries),
+                    "bytes_cached": total, "max_bytes": self.max_bytes}

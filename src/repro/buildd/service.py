@@ -1,0 +1,235 @@
+"""The in-process compile service.
+
+``CompileService`` owns all native-code production: callers hand it C
+source and flags and get back the path of a compiled shared object —
+either immediately from the content-addressed cache, or after a compiler
+run on the service's thread pool.  Because the actual work is a gcc
+subprocess, worker threads spend their time in ``subprocess.run`` with the
+GIL released, so ``REPRO_BUILDD_JOBS`` compiles genuinely overlap.
+
+Guarantees:
+
+* **blocking and future APIs** — ``compile(source, flags)`` waits;
+  ``compile_async(source, flags)`` returns a ``concurrent.futures.Future``
+  resolving to the artifact path;
+* **in-flight dedup** — two threads requesting the same key while a build
+  is running share one compiler run (and one failure, if it fails);
+* **telemetry** — every request is recorded in :class:`~repro.buildd.
+  stats.BuildStats` (hits, misses, dedups, per-unit wall time, queue
+  depth).
+
+The module-level :func:`get_service` singleton is what the backends use;
+:func:`configure` rebuilds it with explicit settings (tests, servers).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Optional
+
+from ..errors import CompileError
+from . import toolchain as _toolchain
+from .cache import ArtifactCache
+from .stats import BuildStats
+
+# -fwrapv: Terra's integer semantics wrap at the type's width (LLVM adds
+# without nsw); the reference interpreter implements exactly that, so the
+# C backend must not treat signed overflow as undefined.
+# -ffp-contract=off: per-operation IEEE semantics (LLVM's default, and
+# what the interpreter computes); gcc would otherwise fuse a*b+c into FMA.
+# Pass extra flags ("-ffp-contract=fast") to opt back in per unit.
+DEFAULT_CFLAGS = ["-O3", "-march=native", "-fPIC", "-shared",
+                  "-fno-strict-aliasing", "-fno-semantic-interposition",
+                  "-fwrapv", "-ffp-contract=off", "-w"]
+
+
+def default_jobs() -> int:
+    raw = os.environ.get("REPRO_BUILDD_JOBS")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+class CompileService:
+    """A thread-pooled, cache-backed C compiler front end."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 tc: Optional[_toolchain.Toolchain] = None,
+                 base_flags: Optional[list[str]] = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.cache = cache if cache is not None else ArtifactCache()
+        self._tc = tc
+        self.base_flags = list(DEFAULT_CFLAGS if base_flags is None
+                               else base_flags)
+        self.stats = BuildStats()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._pool = ThreadPoolExecutor(max_workers=self.jobs,
+                                        thread_name_prefix="buildd")
+
+    # -- toolchain ----------------------------------------------------------
+    def toolchain(self) -> _toolchain.Toolchain:
+        if self._tc is not None:
+            return self._tc
+        return _toolchain.require_toolchain()
+
+    def _cc_identity(self) -> str:
+        if self._tc is not None:
+            return self._tc.identity
+        return _toolchain.cc_identity()
+
+    # -- the main entry points ----------------------------------------------
+    def key_for(self, source: str, flags: Iterable[str] = ()) -> str:
+        all_flags = (*self.base_flags, *flags)
+        return self.cache.key_for(source, all_flags, self._cc_identity())
+
+    def compile(self, source: str, flags: Iterable[str] = ()) -> str:
+        """Compile (or fetch) ``source``; blocks; returns the .so path."""
+        return self.compile_async(source, flags).result()
+
+    def compile_async(self, source: str, flags: Iterable[str] = ()) -> Future:
+        """Schedule a compile; returns a Future resolving to the .so path.
+
+        Identical concurrent requests (same source, flags, and compiler)
+        share a single build; cached keys resolve immediately.
+        """
+        flags = tuple(flags)
+        key = self.key_for(source, flags)
+        with self._lock:
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                self.stats.record_hit()
+                done: Future = Future()
+                done.set_result(cached)
+                return done
+            fut = self._inflight.get(key)
+            if fut is not None:
+                self.stats.record_dedup()
+                return fut
+            self.stats.record_submit()
+            fut = self._pool.submit(self._build, key, source, flags)
+            self._inflight[key] = fut
+            return fut
+
+    # -- the worker ---------------------------------------------------------
+    def _build(self, key: str, source: str, flags: tuple[str, ...]) -> str:
+        t0 = time.perf_counter()
+        try:
+            # another process may have published this key since lookup
+            existing = self.cache.lookup(key)
+            if existing is not None:
+                self.stats.record_already_built()
+                return existing
+            tc = self.toolchain()
+            c_path = self.cache.source_path(key)
+            self.cache._write_atomic(c_path, source)
+            tmp = self.cache.make_temp()
+            cmd = [tc.path, *self.base_flags, *flags, c_path, "-o", tmp,
+                   "-lm"]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise CompileError(
+                    f"{os.path.basename(tc.path)} failed "
+                    f"({proc.returncode}):\n{proc.stderr}\n"
+                    f"--- generated C ({c_path}) ---\n{source}")
+            dt = time.perf_counter() - t0
+            size = os.path.getsize(tmp)
+            final = self.cache.publish(key, tmp, source=source, flags=flags,
+                                       compile_s=dt)
+            self.stats.record_compile(key, dt, size)
+            return final
+        except BaseException:
+            self.stats.record_failure(key, time.perf_counter() - t0)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # -- one-off builds to a caller-chosen path (saveobj) --------------------
+    def compile_to(self, out_path: str, source: str,
+                   flags: Iterable[str]) -> str:
+        """Compile ``source`` with exactly ``flags`` (no base flags) to
+        ``out_path``.  Runs on the pool (so it is counted and can overlap
+        with other builds) but is not cached: the output lives outside the
+        cache root.  Used by ``saveobj`` for .o/.so outputs."""
+
+        def job() -> str:
+            t0 = time.perf_counter()
+            tc = self.toolchain()
+            tmp = out_path + f".{os.getpid()}.{threading.get_ident()}.tmp"
+            cmd = [tc.path, *flags, "-o", tmp]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    raise CompileError(
+                        f"{os.path.basename(tc.path)} failed "
+                        f"({proc.returncode}):\n{proc.stderr}")
+                os.replace(tmp, out_path)
+            finally:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            self.stats.record_compile(f"saveobj:{os.path.basename(out_path)}",
+                                      time.perf_counter() - t0,
+                                      os.path.getsize(out_path))
+            return out_path
+
+        self.stats.record_submit()
+        fut = self._pool.submit(job)
+        try:
+            return fut.result()
+        except BaseException:
+            self.stats.record_failure(f"saveobj:{out_path}", 0.0)
+            raise
+
+    # -- reporting / lifecycle ----------------------------------------------
+    def snapshot(self) -> dict:
+        out = {"jobs": self.jobs}
+        tc = _toolchain.default_toolchain() if self._tc is None else self._tc
+        out["compiler"] = str(tc) if tc is not None else None
+        out.update(self.cache.summary())
+        out.update(self.stats.snapshot())
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+# -- the process-wide service ------------------------------------------------
+_service: Optional[CompileService] = None
+_service_lock = threading.Lock()
+
+
+def get_service() -> CompileService:
+    global _service
+    if _service is None:
+        with _service_lock:
+            if _service is None:
+                _service = CompileService()
+    return _service
+
+
+def configure(jobs: Optional[int] = None, cache_root: Optional[str] = None,
+              max_bytes: Optional[int] = None) -> CompileService:
+    """Replace the process-wide service (tests, servers).  The old pool is
+    drained first; its cache directory is untouched."""
+    global _service
+    with _service_lock:
+        if _service is not None:
+            _service.shutdown(wait=True)
+        _service = CompileService(
+            jobs=jobs, cache=ArtifactCache(cache_root, max_bytes))
+        return _service

@@ -1,0 +1,106 @@
+"""Compile telemetry for the buildd service.
+
+Every native-code production in the process flows through one
+:class:`BuildStats` instance (owned by the :class:`~repro.buildd.service.
+CompileService`), so a tuner sweep, a test run, or a long-lived server can
+ask *after the fact* where its compile time went:
+
+* per-unit compile wall time (a bounded ring of recent builds plus totals),
+* cache hit rate (hits / misses / in-flight dedups),
+* queue depth (builds submitted but not yet finished, and the high-water
+  mark),
+* bytes cached (reported by the artifact cache at snapshot time).
+
+All counters are guarded by one lock; increments are cheap relative to a
+gcc run, so contention is irrelevant.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+#: how many per-unit build records the ring buffer keeps
+RECENT_BUILDS = 64
+
+
+class BuildStats:
+    """Thread-safe counters for one compile service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0          # compile requests (any outcome)
+        self.cache_hits = 0         # served from the artifact cache
+        self.cache_misses = 0       # needed a real compiler run
+        self.inflight_dedup = 0     # joined an identical in-flight build
+        self.compiles = 0           # compiler runs that succeeded
+        self.failures = 0           # compiler runs that failed
+        self.compile_seconds = 0.0  # total wall time inside the compiler
+        self.queue_depth = 0        # builds submitted but not finished
+        self.max_queue_depth = 0
+        self.recent: deque = deque(maxlen=RECENT_BUILDS)
+
+    # -- event hooks (called by the service) --------------------------------
+    def record_hit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.cache_hits += 1
+
+    def record_dedup(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.inflight_dedup += 1
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.cache_misses += 1
+            self.queue_depth += 1
+            self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+
+    def record_compile(self, key: str, seconds: float, size: int) -> None:
+        with self._lock:
+            self.compiles += 1
+            self.compile_seconds += seconds
+            self.queue_depth -= 1
+            self.recent.append(
+                {"key": key, "seconds": round(seconds, 4), "bytes": size})
+
+    def record_failure(self, key: str, seconds: float) -> None:
+        with self._lock:
+            self.failures += 1
+            self.compile_seconds += seconds
+            self.queue_depth -= 1
+
+    def record_already_built(self) -> None:
+        """A scheduled build found the artifact already published (by
+        another process) — not a compile, not a failure."""
+        with self._lock:
+            self.queue_depth -= 1
+
+    # -- reporting ----------------------------------------------------------
+    def hit_rate(self) -> Optional[float]:
+        """Cache hit rate over all requests, or None before any request."""
+        with self._lock:
+            total = self.cache_hits + self.cache_misses + self.inflight_dedup
+            if total == 0:
+                return None
+            return self.cache_hits / total
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            total = self.cache_hits + self.cache_misses + self.inflight_dedup
+            return {
+                "submitted": self.submitted,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "inflight_dedup": self.inflight_dedup,
+                "compiles": self.compiles,
+                "failures": self.failures,
+                "compile_seconds": round(self.compile_seconds, 4),
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
+                "hit_rate": (self.cache_hits / total) if total else None,
+                "recent_builds": list(self.recent),
+            }

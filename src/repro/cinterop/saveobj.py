@@ -17,10 +17,10 @@ The output format follows the file extension:
 from __future__ import annotations
 
 import os
-import subprocess
 
 from ..backend.base import get_backend
 from ..backend.c.emit import CEmitter
+from ..buildd import get_service
 from ..core.linker import connected_component
 from ..errors import CompileError
 
@@ -91,17 +91,21 @@ def saveobj(path: str, functions: dict) -> None:
     c_path = path + ".gen.c"
     with open(c_path, "w") as f:
         f.write(source)
-    from ..backend.c.runtime import find_cc
     if ext == ".o":
-        cmd = [find_cc(), "-O3", "-march=native", "-fPIC", "-w", "-c",
-               c_path, "-o", path]
+        flags = ["-O3", "-march=native", "-fPIC", "-w", "-c", c_path]
     elif ext == ".so":
-        cmd = [find_cc(), "-O3", "-march=native", "-fPIC", "-w", "-shared",
-               c_path, "-o", path, "-lm"]
+        flags = ["-O3", "-march=native", "-fPIC", "-w", "-shared", c_path,
+                 "-lm"]
     else:
+        os.unlink(c_path)
         raise CompileError(
             f"saveobj: unsupported extension {ext!r} (use .c, .h, .o, .so)")
-    proc = subprocess.run(cmd, capture_output=True, text=True)
-    os.unlink(c_path)
-    if proc.returncode != 0:
-        raise CompileError(f"saveobj: gcc failed:\n{proc.stderr}")
+    try:
+        # routed through the buildd service: runs on the compile pool and
+        # is recorded in the telemetry, but the output path is the user's,
+        # so it is not content-cached.
+        get_service().compile_to(path, source, flags)
+    except CompileError as exc:
+        raise CompileError(f"saveobj: {exc}") from None
+    finally:
+        os.unlink(c_path)

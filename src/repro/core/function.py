@@ -26,6 +26,26 @@ from .symbols import Symbol
 _func_ids = itertools.count(1)
 
 
+class _InstallingTicket:
+    """A CompileTicket wrapper that installs the resolved handle in the
+    function's per-backend cache (so later ``compile()`` calls and direct
+    calls reuse it instead of recompiling)."""
+
+    def __init__(self, fn: "TerraFunction", backend_name: str, inner):
+        self._fn = fn
+        self._name = backend_name
+        self._inner = inner
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def result(self, timeout=None):
+        handle = self._inner.result(timeout)
+        handle = self._fn._compiled.setdefault(self._name, handle)
+        self._fn._pending.pop(self._name, None)
+        return handle
+
+
 class TerraFunction:
     """A Terra function object (the paper's function address ``l``)."""
 
@@ -52,6 +72,7 @@ class TerraFunction:
         self._type: Optional[T.FunctionType] = None
         self._typecheck_error: Optional[Exception] = None
         self._compiled: dict[str, object] = {}   # backend name -> handle
+        self._pending: dict[str, object] = {}    # backend name -> CompileTicket
 
     # -- definition ------------------------------------------------------------
     def define(self, param_symbols: Sequence[Symbol],
@@ -116,15 +137,46 @@ class TerraFunction:
 
     # -- compilation & calling ---------------------------------------------------
     def compile(self, backend=None):
-        """Compile (JIT) on ``backend`` and return a callable handle."""
+        """Compile (JIT) on ``backend`` and return a callable handle.
+
+        If an async compile was started earlier (:meth:`compile_async`),
+        this joins it instead of compiling again — with the flags that
+        were in effect at submission time.
+        """
         from ..backend.base import resolve_backend
         backend = resolve_backend(backend)
         handle = self._compiled.get(backend.name)
         if handle is None:
-            from .linker import ensure_compiled
-            handle = ensure_compiled(self, backend)
-            self._compiled[backend.name] = handle
+            ticket = self._pending.pop(backend.name, None)
+            if ticket is not None:
+                handle = ticket.result()
+            else:
+                from .linker import ensure_compiled
+                handle = ensure_compiled(self, backend)
+            handle = self._compiled.setdefault(backend.name, handle)
         return handle
+
+    def compile_async(self, backend=None):
+        """Start compiling on ``backend`` without waiting: the unit is
+        emitted now (capturing the current compile flags) and built on the
+        :mod:`repro.buildd` pool; returns a ``CompileTicket`` whose
+        ``result()`` yields the callable handle.
+
+        A later :meth:`compile` or direct call joins the pending build, so
+        ``fn.compile_async(); ...; fn(x)`` never compiles twice.
+        """
+        from ..backend.base import CompileTicket, resolve_backend
+        backend = resolve_backend(backend)
+        handle = self._compiled.get(backend.name)
+        if handle is not None:
+            return CompileTicket.completed(handle)
+        ticket = self._pending.get(backend.name)
+        if ticket is None:
+            from .linker import ensure_compiled_async
+            inner = ensure_compiled_async(self, backend)
+            ticket = _InstallingTicket(self, backend.name, inner)
+            self._pending[backend.name] = ticket
+        return ticket
 
     def __call__(self, *args):
         """Calling from Python JIT-compiles on the default backend and

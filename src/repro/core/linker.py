@@ -16,11 +16,24 @@ attempts.
 
 from __future__ import annotations
 
+import threading
+
 from ..errors import LinkError, TypeCheckError
 from .function import TerraFunction
 
-#: functions currently being typechecked (cycle detection)
-_in_progress: set[int] = set()
+#: functions currently being typechecked (cycle detection).  Thread-local:
+#: recursion is a property of one traversal, and two *threads* visiting the
+#: same function concurrently (the compile service makes that easy) must
+#: not be mistaken for a recursive reference.
+_tls = threading.local()
+
+
+def _in_progress() -> set[int]:
+    try:
+        return _tls.in_progress
+    except AttributeError:
+        _tls.in_progress = set()
+        return _tls.in_progress
 
 
 def typecheck_function(fn: TerraFunction) -> None:
@@ -30,18 +43,20 @@ def typecheck_function(fn: TerraFunction) -> None:
     if not fn.isdefined():
         raise LinkError(
             f"Terra function {fn.name!r} is declared but not defined")
-    if fn.uid in _in_progress:
+    in_progress = _in_progress()
+    if fn.uid in in_progress:
         raise TypeCheckError(
             f"function {fn.name!r} is recursive (directly or mutually) and "
             f"needs an explicit return type annotation")
     from .typechecker import TypeChecker
-    _in_progress.add(fn.uid)
+    in_progress.add(fn.uid)
     try:
         typed = TypeChecker(fn).run()
     finally:
-        _in_progress.discard(fn.uid)
-    fn.typed = typed
-    fn._type = typed.type
+        in_progress.discard(fn.uid)
+    if fn.typed is None:  # a racing thread may have typechecked it already
+        fn.typed = typed
+        fn._type = typed.type
 
 
 def connected_component(fn: TerraFunction) -> list[TerraFunction]:
@@ -77,3 +92,18 @@ def ensure_compiled(fn: TerraFunction, backend):
     callable handle for ``fn``."""
     component = connected_component(fn)
     return backend.compile_unit(fn, component)
+
+
+def ensure_compiled_async(fn: TerraFunction, backend):
+    """Typecheck ``fn``'s component, emit it, and *submit* it to the
+    backend's compile service without waiting; returns a
+    :class:`~repro.backend.base.CompileTicket` whose ``result()`` yields
+    the callable handle.
+
+    Typechecking and emission run synchronously in the caller (they touch
+    shared linker state); only the native compile overlaps.  Callers that
+    submit many units up front (the §6.1 auto-tuner) get them compiled
+    concurrently by the :mod:`repro.buildd` pool.
+    """
+    component = connected_component(fn)
+    return backend.compile_unit_async(fn, component)

@@ -337,6 +337,10 @@ def compile_pipeline(output, N: int, vectorize: int | bool = False,
     src, env, input_names, params = _generate(
         infos, compute_order, group_order, out_stages, stages, N, P, W, V)
     fn = terra(src, env=env, filename=f"<orion:{out_stages[0].name}>")
+    # submit the native build to the buildd pool now (capturing any active
+    # extra_cflags), so compilation overlaps the caller's setup work; the
+    # first call of the stencil joins the pending build.
+    fn.compile_async()
     return CompiledStencil(fn, input_names,
                            [s.name for s in out_stages], N, P, W, src,
                            params)
