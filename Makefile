@@ -3,7 +3,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check bench bench-compile report examples clean
+.PHONY: install test check verify-ir bench bench-compile report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,9 @@ check:  # the tier-1 gate: full test suite + a buildd CLI smoke
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
+
+verify-ir:  # full suite with the IR verifier re-checking after every pass
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m pytest tests/ -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

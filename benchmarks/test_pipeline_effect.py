@@ -1,0 +1,100 @@
+"""What the mid-level pass pipeline buys (and costs).
+
+Three measurements over the blocked-GEMM tuner kernel, with the pipeline
+on (each backend's declared level) vs. forced off
+(``pipeline_override(0)``):
+
+* emitted-C byte size — canonicalized IR must never emit *larger* C;
+* gcc wall-clock on the emitted unit (cache-busted per run);
+* interpreter runtime of the cache-blocked kernel.
+
+Run with::
+
+    pytest benchmarks/test_pipeline_effect.py -p no:benchmark -q -s
+
+A fresh staged function is built per configuration: the passes mutate
+the typed tree in place, so a shared function would leak optimized IR
+into the "off" measurement.
+"""
+
+import time
+import uuid
+
+import numpy as np
+
+from repro.autotune.matmul import blocked_matmul, make_gemm
+from repro.buildd import get_service
+from repro.passes import PIPELINE_NONE, pipeline_override
+
+# small but real: a 4-way register-blocked, 2-wide vector L1 kernel
+GEMM_PARAMS = dict(NB=16, RM=2, RN=2, V=2)
+N = 32  # multiple of NB
+
+
+def _emit(passes_on: bool) -> str:
+    gemm = make_gemm(fma=False, **GEMM_PARAMS)  # fma=False: no eager build
+    if passes_on:
+        return gemm.get_c_source()
+    with pipeline_override(PIPELINE_NONE):
+        return gemm.get_c_source()
+
+
+def test_emitted_c_no_larger_with_passes(capsys):
+    """Acceptance gate: pipeline output must not bloat the C unit."""
+    source_off = _emit(passes_on=False)
+    source_on = _emit(passes_on=True)
+    with capsys.disabled():
+        print(f"\nblocked-GEMM emitted C: passes on {len(source_on)} B, "
+              f"off {len(source_off)} B "
+              f"({len(source_off) - len(source_on):+d} B saved)")
+    assert len(source_on) <= len(source_off)
+
+
+def test_gcc_compile_time(capsys):
+    """gcc wall-clock on the two units (unique comment busts the cache)."""
+    nonce = uuid.uuid4().hex
+    service = get_service()
+    times = {}
+    for label, source in (("off", _emit(False)), ("on", _emit(True))):
+        busted = f"/* pipeline-effect {label} {nonce} */\n" + source
+        t0 = time.perf_counter()
+        service.compile(busted)
+        times[label] = time.perf_counter() - t0
+    with capsys.disabled():
+        print(f"\ngcc wall-clock: passes on {times['on']:.3f}s, "
+              f"off {times['off']:.3f}s")
+    assert times["on"] > 0 and times["off"] > 0
+
+
+def test_interp_runtime(capsys):
+    """The interpreter runs the canonicalized tree measurably less IR."""
+    n = 8
+    rng = np.random.RandomState(3)
+    A = rng.rand(n, n)
+    B = rng.rand(n, n)
+
+    def build(passes_on):
+        fn = blocked_matmul(NB=4)
+        if passes_on:
+            return fn.compile("interp")
+        with pipeline_override(PIPELINE_NONE):
+            return fn.compile("interp")
+
+    def best_of(callable_, runs=3):
+        best = float("inf")
+        for _ in range(runs):
+            C = np.zeros((n, n))
+            t0 = time.perf_counter()
+            callable_(C, A, B, n)
+            best = min(best, time.perf_counter() - t0)
+            assert np.allclose(C, A @ B)
+        return best
+
+    t_on = best_of(build(True))
+    t_off = best_of(build(False))
+    with capsys.disabled():
+        print(f"\ninterp blocked matmul ({n}x{n}): passes on {t_on:.4f}s, "
+              f"off {t_off:.4f}s ({t_off / t_on:.2f}x)")
+    # loose regression guard: the pipeline must never make the
+    # interpreter dramatically slower (it is normally faster)
+    assert t_on <= t_off * 2.0

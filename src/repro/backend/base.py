@@ -64,6 +64,14 @@ class Backend:
 
     name: str = "abstract"
 
+    #: the :mod:`repro.passes` pipeline level this backend wants the typed
+    #: IR brought to before it compiles (0 = raw typechecker output,
+    #: 1 = canonicalized, 2 = full optimization — see
+    #: :data:`repro.passes.LEVEL_PASSES`).  The linker runs the pipeline
+    #: once per function and caches the result on the TypedFunction, so
+    #: two backends requesting the same level share the work.
+    pipeline_level: int = 2
+
     def compile_unit(self, fn, component):
         """Compile ``fn``'s connected ``component`` (a list of
         TerraFunctions, fn first) and return a Python-callable handle for

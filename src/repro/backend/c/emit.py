@@ -22,6 +22,7 @@ Lowering notes:
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Optional
 
 from ...core import tast
@@ -153,6 +154,14 @@ class CEmitter:
     # unit emission
     # ==================================================================
     def emit_unit(self) -> str:
+        # pass 0: with REPRO_TERRA_VERIFY_IR=1, re-check the typed trees
+        # right before they become C — the last point a broken invariant
+        # can be caught as a diagnostic instead of a miscompile
+        if os.environ.get("REPRO_TERRA_VERIFY_IR", "") not in ("", "0"):
+            from ...passes.verify import verify_function
+            for fn in self.component:
+                if not fn.is_external and fn.typed is not None:
+                    verify_function(fn.typed, where="before C emission")
         # pass 1: register every type reachable from the component
         for fn in self.component:
             self.fn_name(fn)

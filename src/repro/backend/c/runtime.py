@@ -142,6 +142,14 @@ class CompiledFunction:
 class CBackend(Backend):
     name = "c"
 
+    #: the linker brings the typed IR to this pipeline level before
+    #: calling compile_unit (see repro.passes).  CANON (fold/simplify/dce)
+    #: shrinks the emitted C and makes equivalent stagings hit the buildd
+    #: artifact cache; LICM is deliberately left to gcc -O3, whose own
+    #: loop optimizer subsumes ours — pre-hoisted temps only enlarge the
+    #: unit (and the cache key space)
+    pipeline_level = 1
+
     def __init__(self):
         self._libs: list[ctypes.CDLL] = []
         self._globals: dict[int, tuple] = {}   # glob.uid -> (buffer, addr)
@@ -194,9 +202,10 @@ class CBackend(Backend):
 
     def emit_source(self, fn) -> str:
         """The C source for ``fn``'s connected component (for inspection,
-        tests, and saveobj)."""
-        from ...core.linker import connected_component
-        component = connected_component(fn)
+        tests, and saveobj), after the same IR pipeline a real compile
+        would run."""
+        from ...core.linker import pipelined_component
+        component = pipelined_component(fn, self)
         return CEmitter(component, self).emit_unit()
 
     # -- globals ----------------------------------------------------------------

@@ -606,6 +606,12 @@ def _numpy():
 class InterpBackend(Backend):
     name = "interp"
 
+    #: the linker brings the typed IR to this pipeline level before
+    #: calling compile_unit (see repro.passes); the interpreter has no
+    #: private optimizer of its own, so it wants the FULL pipeline —
+    #: including LICM, which no downstream compiler would do for it
+    pipeline_level = 2
+
     def __init__(self):
         self.memory = Memory()
         self.allocator = Allocator(self.memory)
@@ -613,16 +619,6 @@ class InterpBackend(Backend):
         self._global_slots: dict[int, int] = {}
 
     def compile_unit(self, fn, component):
-        # fold staged constants before interpreting: generated code bakes
-        # many meta-level constants, and folding them is cheap and
-        # semantics-preserving (the pass reuses this backend's own scalar
-        # operations)
-        from ...core.optimize import optimize_function
-        for member in component:
-            if not member.is_external and member.typed is not None \
-                    and not getattr(member.typed, "_optimized", False):
-                optimize_function(member.typed)
-                member.typed._optimized = True
         handle = InterpFunction(fn, self.machine)
         fn._compiled.setdefault(self.name, handle)
         return handle

@@ -40,6 +40,9 @@ class BuildStats:
         self.queue_depth = 0        # builds submitted but not finished
         self.max_queue_depth = 0
         self.recent: deque = deque(maxlen=RECENT_BUILDS)
+        # per-IR-pass totals (name -> {"runs", "seconds"}), fed by the
+        # repro.passes manager so one report covers IR time and gcc time
+        self.pass_runs: dict = {}
 
     # -- event hooks (called by the service) --------------------------------
     def record_hit(self) -> None:
@@ -73,6 +76,14 @@ class BuildStats:
             self.compile_seconds += seconds
             self.queue_depth -= 1
 
+    def record_pass(self, name: str, seconds: float) -> None:
+        """One IR pass ran for ``seconds`` (called by the pass manager)."""
+        with self._lock:
+            entry = self.pass_runs.setdefault(
+                name, {"runs": 0, "seconds": 0.0})
+            entry["runs"] += 1
+            entry["seconds"] += seconds
+
     def record_already_built(self) -> None:
         """A scheduled build found the artifact already published (by
         another process) — not a compile, not a failure."""
@@ -103,4 +114,9 @@ class BuildStats:
                 "max_queue_depth": self.max_queue_depth,
                 "hit_rate": (self.cache_hits / total) if total else None,
                 "recent_builds": list(self.recent),
+                "passes": {
+                    name: {"runs": entry["runs"],
+                           "seconds": round(entry["seconds"], 4)}
+                    for name, entry in sorted(self.pass_runs.items())
+                },
             }

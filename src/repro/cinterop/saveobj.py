@@ -21,7 +21,7 @@ import os
 from ..backend.base import get_backend
 from ..backend.c.emit import CEmitter
 from ..buildd import get_service
-from ..core.linker import connected_component
+from ..core.linker import pipelined_component
 from ..errors import CompileError
 
 
@@ -32,7 +32,7 @@ def emit_exported_source(functions: dict) -> str:
     component: list = []
     seen = set()
     for fn in functions.values():
-        for member in connected_component(fn):
+        for member in pipelined_component(fn, backend):
             if member.uid not in seen:
                 seen.add(member.uid)
                 component.append(member)
@@ -58,7 +58,7 @@ def emit_header(functions: dict) -> str:
     component: list = []
     seen = set()
     for fn in functions.values():
-        for member in connected_component(fn):
+        for member in pipelined_component(fn, backend):
             if member.uid not in seen:
                 seen.add(member.uid)
                 component.append(member)

@@ -206,6 +206,19 @@ class TerraFunction:
         from ..backend.base import get_backend
         return get_backend("c").emit_source(self)
 
+    def get_optimized_ir(self, level: Optional[int] = None) -> str:
+        """The typed IR after the :mod:`repro.passes` pipeline — what both
+        backends actually compile.  ``level`` picks a pipeline level
+        (default: the full pipeline); since the pipeline only ever moves
+        forward, asking for a lower level than already applied returns
+        the tree at the level previously reached."""
+        from ..passes import run_pipeline
+        from .prettyprint import format_typed_ir
+        self.ensure_typechecked()
+        assert self.typed is not None
+        run_pipeline(self.typed, level)
+        return format_typed_ir(self.typed)
+
     def __repr__(self) -> str:
         ty = self._type if self._type is not None else "<untypechecked>"
         return f"terra {self.name}: {ty} [{self.state}]"

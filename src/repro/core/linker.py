@@ -87,10 +87,28 @@ def ensure_typechecked(fn: TerraFunction) -> None:
     connected_component(fn)
 
 
+def pipelined_component(fn: TerraFunction, backend) -> list[TerraFunction]:
+    """Typecheck ``fn``'s connected component and bring every member's
+    typed IR to the backend's requested pipeline level.
+
+    This is the single point where the :mod:`repro.passes` pipeline runs:
+    backends receive the component *after* it, so the C emitter and the
+    reference interpreter always compile the same optimized tree, and a
+    function shared by two compiles is only transformed once
+    (``TypedFunction.pipeline_level`` caches the level reached).
+    """
+    from ..passes import run_function_pipeline
+    component = connected_component(fn)
+    level = getattr(backend, "pipeline_level", None)
+    for member in component:
+        run_function_pipeline(member, level)
+    return component
+
+
 def ensure_compiled(fn: TerraFunction, backend):
     """Compile ``fn``'s connected component on ``backend`` and return a
     callable handle for ``fn``."""
-    component = connected_component(fn)
+    component = pipelined_component(fn, backend)
     return backend.compile_unit(fn, component)
 
 
@@ -100,10 +118,11 @@ def ensure_compiled_async(fn: TerraFunction, backend):
     :class:`~repro.backend.base.CompileTicket` whose ``result()`` yields
     the callable handle.
 
-    Typechecking and emission run synchronously in the caller (they touch
-    shared linker state); only the native compile overlaps.  Callers that
-    submit many units up front (the §6.1 auto-tuner) get them compiled
-    concurrently by the :mod:`repro.buildd` pool.
+    Typechecking, the IR pipeline, and emission run synchronously in the
+    caller (they touch shared linker state); only the native compile
+    overlaps.  Callers that submit many units up front (the §6.1
+    auto-tuner) get them compiled concurrently by the :mod:`repro.buildd`
+    pool.
     """
-    component = connected_component(fn)
+    component = pipelined_component(fn, backend)
     return backend.compile_unit_async(fn, component)

@@ -1,247 +1,26 @@
-"""Typed-IR optimizations: constant folding and dead-code pruning.
+"""Compatibility shim — the optimizer moved to :mod:`repro.passes`.
 
-Terra leans on LLVM for optimization; our gcc backend likewise gets -O3.
-This pass exists for the *interpreter* path (and for predictable staged
-code): generated programs bake many meta-constants (block sizes, strides,
-unrolled indices), so folding them shrinks interpreted trees
-substantially.  It is semantics-preserving by construction — every fold
-reuses the interpreter's own C-semantics scalar operations.
+This module used to hold the interpreter-only constant folder.  Those
+transforms now live in the pass-managed pipeline shared by *both*
+backends (:mod:`repro.passes.fold`, :mod:`repro.passes.simplify`,
+:mod:`repro.passes.dce`, :mod:`repro.passes.licm`), which the linker runs
+once per function before any backend compiles it.
 
-Transformations:
-
-* binary/unary operations over constants → constants (C semantics:
-  wrapping integers, truncating division, float32 rounding);
-* numeric casts of constants → constants;
-* ``if`` branches with constant conditions → the taken block (or removed);
-* ``while false`` loops and statements after an unconditional return in a
-  block → removed;
-* short-circuit ``and``/``or`` with constant left sides → simplified.
-
-Run via :func:`optimize_function`, applied automatically by the
-interpreter backend.
+:func:`optimize_function` remains for callers that want to canonicalize a
+typed function directly; it now runs the level-1 pipeline.
 """
 
 from __future__ import annotations
 
-
-from ..backend.interp import values as V
-from ..errors import TrapError
 from . import tast
-from . import types as T
-
-_COMPARES = {"<", ">", "<=", ">=", "==", "~="}
 
 
 def optimize_function(typed: tast.TypedFunction) -> tast.TypedFunction:
-    """Fold and prune a typed function in place (idempotent)."""
-    typed.body = _block(typed.body)
+    """Fold and prune a typed function in place (idempotent).
+
+    Deprecated entry point: equivalent to running the canonicalization
+    pipeline (``repro.passes.run_pipeline(typed, PIPELINE_CANON)``).
+    """
+    from ..passes import PIPELINE_CANON, run_pipeline
+    run_pipeline(typed, PIPELINE_CANON)
     return typed
-
-
-# -- expressions ------------------------------------------------------------------
-
-def _is_const(e) -> bool:
-    return isinstance(e, tast.TConst) and isinstance(
-        e.type, T.PrimitiveType)
-
-
-def _expr(e: tast.TExpr) -> tast.TExpr:
-    # recurse into children first
-    for field in e._fields:
-        child = getattr(e, field)
-        if isinstance(child, tast.TExpr):
-            setattr(e, field, _expr(child))
-        elif isinstance(child, list):
-            setattr(e, field, [
-                _expr(c) if isinstance(c, tast.TExpr) else c for c in child])
-    if isinstance(e, tast.TBinOp):
-        return _fold_binop(e)
-    if isinstance(e, tast.TUnOp):
-        return _fold_unop(e)
-    if isinstance(e, tast.TCast):
-        return _fold_cast(e)
-    if isinstance(e, tast.TLogical):
-        return _fold_logical(e)
-    if isinstance(e, tast.TLetIn):
-        e.block = _block(e.block)
-        return e
-    return e
-
-
-def _fold_binop(e: tast.TBinOp) -> tast.TExpr:
-    lhs, rhs = e.lhs, e.rhs
-    if not (_is_const(lhs) and _is_const(rhs)):
-        return _algebraic(e)
-    ty = lhs.type
-    try:
-        if e.op in _COMPARES:
-            result = V.scalar_compare(e.op, lhs.value, rhs.value)
-            return tast.TConst(result, T.bool_, e.location)
-        if ty.islogical() and e.op in ("and", "or", "^"):
-            result = V.scalar_binop(e.op, lhs.value, rhs.value, ty)
-            return tast.TConst(result, ty, e.location)
-        if ty.isarithmetic():
-            result = V.scalar_binop(e.op, lhs.value, rhs.value, ty)
-            return tast.TConst(result, e.type, e.location)
-    except TrapError:
-        return e  # division by zero etc: leave it to fail at runtime
-    return e
-
-
-def _algebraic(e: tast.TBinOp) -> tast.TExpr:
-    """A few safe identities on arithmetic types (never on floats where
-    they change NaN/signed-zero behaviour: x*0 is NOT folded)."""
-    lhs, rhs = e.lhs, e.rhs
-    ty = e.type
-    if not (isinstance(ty, T.PrimitiveType) and ty.isintegral()):
-        return e
-    if _is_const(rhs):
-        if e.op in ("+", "-", "|", "^", "<<", ">>") and rhs.value == 0:
-            return lhs
-        if e.op == "*" and rhs.value == 1:
-            return lhs
-        if e.op == "/" and rhs.value == 1:
-            return lhs
-    if _is_const(lhs):
-        if e.op in ("+", "|", "^") and lhs.value == 0:
-            return rhs
-        if e.op == "*" and lhs.value == 1:
-            return rhs
-    # reassociate (a + c1) + c2 -> a + (c1+c2): exact for wrapping
-    # integers (associativity mod 2^n), never applied to floats
-    if e.op in ("+", "*") and _is_const(rhs) \
-            and isinstance(lhs, tast.TBinOp) and lhs.op == e.op \
-            and _is_const(lhs.rhs) and lhs.type is e.type:
-        folded = V.scalar_binop(e.op, lhs.rhs.value, rhs.value, ty)
-        return _algebraic(tast.TBinOp(
-            e.op, lhs.lhs, tast.TConst(folded, ty, e.location), ty,
-            e.location))
-    return e
-
-
-def _fold_unop(e: tast.TUnOp) -> tast.TExpr:
-    operand = e.operand
-    if not _is_const(operand):
-        return e
-    ty = operand.type
-    if e.op == "-" and ty.isarithmetic():
-        return tast.TConst(V.scalar_binop("-", 0, operand.value, ty),
-                           e.type, e.location)
-    if e.op == "not":
-        if ty.islogical():
-            return tast.TConst(not operand.value, T.bool_, e.location)
-        if ty.isintegral():
-            from ..memory.layout import wrap_int
-            return tast.TConst(wrap_int(~operand.value, ty), ty, e.location)
-    return e
-
-
-def _fold_cast(e: tast.TCast) -> tast.TExpr:
-    if e.kind == "numeric" and _is_const(e.expr) \
-            and isinstance(e.type, T.PrimitiveType):
-        value = V.scalar_cast(e.expr.value, e.expr.type, e.type)
-        return tast.TConst(value, e.type, e.location)
-    return e
-
-
-def _fold_logical(e: tast.TLogical) -> tast.TExpr:
-    lhs = e.lhs
-    if _is_const(lhs):
-        if e.op == "and":
-            return e.rhs if lhs.value else tast.TConst(False, T.bool_,
-                                                       e.location)
-        return tast.TConst(True, T.bool_, e.location) if lhs.value else e.rhs
-    return e
-
-
-# -- statements -------------------------------------------------------------------
-
-def _block(block: tast.TBlock) -> tast.TBlock:
-    out: list[tast.TStat] = []
-    for stat in block.statements:
-        lowered = _stat(stat)
-        for s in lowered:
-            out.append(s)
-            if isinstance(s, (tast.TReturn, tast.TBreak)):
-                # everything after an unconditional exit is unreachable
-                block.statements = out
-                return block
-    block.statements = out
-    return block
-
-
-def _stat(s: tast.TStat) -> list[tast.TStat]:
-    if isinstance(s, tast.TVarDecl):
-        if s.inits is not None:
-            s.inits = [_expr(x) for x in s.inits]
-        return [s]
-    if isinstance(s, tast.TAssign):
-        s.lhs = [_expr(x) for x in s.lhs]
-        s.rhs = [_expr(x) for x in s.rhs]
-        return [s]
-    if isinstance(s, tast.TIf):
-        return _fold_if(s)
-    if isinstance(s, tast.TWhile):
-        s.cond = _expr(s.cond)
-        if _is_const(s.cond) and not s.cond.value:
-            return []  # while false: gone
-        s.body = _block(s.body)
-        return [s]
-    if isinstance(s, tast.TRepeat):
-        s.body = _block(s.body)
-        s.cond = _expr(s.cond)
-        return [s]
-    if isinstance(s, tast.TForNum):
-        s.start = _expr(s.start)
-        s.limit = _expr(s.limit)
-        if s.step is not None:
-            s.step = _expr(s.step)
-        if _is_const(s.start) and _is_const(s.limit):
-            step_val = 1
-            if s.step is not None and _is_const(s.step):
-                step_val = s.step.value
-            if step_val > 0 and s.start.value >= s.limit.value:
-                return []  # zero-trip loop
-            if step_val < 0 and s.start.value <= s.limit.value:
-                return []
-        s.body = _block(s.body)
-        return [s]
-    if isinstance(s, tast.TDoStat):
-        s.body = _block(s.body)
-        if not s.body.statements:
-            return []
-        return [s]
-    if isinstance(s, tast.TReturn):
-        if s.expr is not None:
-            s.expr = _expr(s.expr)
-        return [s]
-    if isinstance(s, tast.TExprStat):
-        s.expr = _expr(s.expr)
-        if isinstance(s.expr, (tast.TConst, tast.TVar)):
-            return []  # a bare constant/variable has no effect
-        return [s]
-    return [s]
-
-
-def _fold_if(s: tast.TIf) -> list[tast.TStat]:
-    branches = []
-    for cond, body in s.branches:
-        cond = _expr(cond)
-        if _is_const(cond):
-            if cond.value:
-                # this branch always runs; it terminates the chain
-                if not branches:
-                    return list(_block(body).statements)
-                s.branches = branches
-                s.orelse = _block(body)
-                return [s]
-            continue  # branch can never run: drop it
-        branches.append((cond, _block(body)))
-    if s.orelse is not None:
-        s.orelse = _block(s.orelse)
-        if not s.orelse.statements:
-            s.orelse = None
-    if not branches:
-        return list(s.orelse.statements) if s.orelse is not None else []
-    s.branches = branches
-    return [s]

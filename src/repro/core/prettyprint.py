@@ -185,11 +185,18 @@ def format_typed(fn) -> str:
     typed = fn.typed
     if typed is None:
         return f"terra {fn.name} :: {fn.gettype()} -- external"
+    return format_typed_ir(typed)
+
+
+def format_typed_ir(typed: tast.TypedFunction) -> str:
+    """Render a TypedFunction directly (the pass manager's IR dumps use
+    this: mid-pipeline there is only the typed tree, no TerraFunction
+    wrapper involvement needed)."""
     p = _Printer()
     params = ", ".join(
         f"{s.name} : {t}"
         for s, t in zip(typed.param_symbols, typed.type.parameters))
-    p.line(f"terra {fn.name}({params}) : {typed.type.returntype}")
+    p.line(f"terra {typed.name}({params}) : {typed.type.returntype}")
     p.depth += 1
     _typed_block(p, typed.body)
     p.depth -= 1

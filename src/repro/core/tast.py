@@ -9,6 +9,7 @@ metamethods have been expanded, and ``defer`` has been lowered away.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from . import types as T
@@ -407,6 +408,12 @@ class TypedFunction:
         self.referenced_globals: list = []
         self.referenced_callbacks: list = []
         self.string_constants: list[str] = []
+        #: highest :mod:`repro.passes` pipeline level already applied to
+        #: ``body`` (0 = raw typechecker output).  Guarded by
+        #: ``_pipeline_lock`` so concurrent compiles can neither
+        #: double-transform the tree nor observe it half-rewritten.
+        self.pipeline_level: int = 0
+        self._pipeline_lock = threading.Lock()
 
     @property
     def name(self) -> str:

@@ -25,6 +25,7 @@ ill-typed body stays ill-typed (definitions are immutable).
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from ..errors import LinkError, TypeCheckError
@@ -95,6 +96,11 @@ class TypeChecker:
         typed.referenced_functions = self.referenced_functions
         typed.referenced_globals = self.referenced_globals
         typed.referenced_callbacks = self.referenced_callbacks
+        if os.environ.get("REPRO_TERRA_VERIFY_IR", "") not in ("", "0"):
+            # catch malformed trees at the source before any pass touches
+            # them (the pass manager re-verifies after each transform)
+            from ..passes.verify import verify_function
+            verify_function(typed, where="after typechecking")
         return typed
 
     @staticmethod
@@ -192,7 +198,11 @@ class TypeChecker:
         if isinstance(expr, tast.TConst) and isinstance(target, T.PrimitiveType):
             value = expr.value
             if target.isfloat():
-                return tast.TConst(float(value), target, location)
+                # round at the target's precision: a double literal cast
+                # to float must bake the float32 value, not the double
+                from ..memory.layout import round_float
+                return tast.TConst(round_float(float(value), target),
+                                   target, location)
             if target.isintegral() and isinstance(value, int):
                 if target.min_value() <= value <= target.max_value():
                     return tast.TConst(value, target, location)

@@ -53,6 +53,12 @@ class CompileError(TerraError):
     """The backend failed to translate or build the typed IR."""
 
 
+class IRVerifyError(CompileError):
+    """The typed-IR verifier found a broken invariant (a compiler bug:
+    either the typechecker produced a malformed tree or an optimization
+    pass corrupted one).  See :mod:`repro.passes.verify`."""
+
+
 class TrapError(TerraError):
     """A runtime trap in interpreted Terra code (bad pointer, OOB, ...)."""
 

@@ -1,0 +1,46 @@
+"""The pass-managed mid-level IR pipeline.
+
+Every backend obtains its IR through this package: the linker runs
+:func:`run_function_pipeline` over each member of a connected component
+before handing the component to a backend, and the result is cached per
+function (``TypedFunction.pipeline_level``), so the C emitter and the
+reference interpreter always compile the *same* optimized tree.
+
+See :mod:`repro.passes.manager` for the environment switches
+(``REPRO_TERRA_PIPELINE``, ``REPRO_TERRA_DISABLE_PASSES``,
+``REPRO_TERRA_DUMP_IR``, ``REPRO_TERRA_VERIFY_IR``).
+"""
+
+from .manager import (  # noqa: F401
+    LEVEL_PASSES,
+    PIPELINE_CANON,
+    PIPELINE_FULL,
+    PIPELINE_NONE,
+    Pass,
+    PassManager,
+    available_passes,
+    create_pass,
+    pipeline_override,
+    register_pass,
+    resolve_level,
+    run_function_pipeline,
+    run_pipeline,
+)
+from .verify import verify_function  # noqa: F401
+
+__all__ = [
+    "LEVEL_PASSES",
+    "PIPELINE_CANON",
+    "PIPELINE_FULL",
+    "PIPELINE_NONE",
+    "Pass",
+    "PassManager",
+    "available_passes",
+    "create_pass",
+    "pipeline_override",
+    "register_pass",
+    "resolve_level",
+    "run_function_pipeline",
+    "run_pipeline",
+    "verify_function",
+]

@@ -1,0 +1,145 @@
+"""Shared analyses and traversal helpers for the mid-level IR passes.
+
+Two facilities every transform pass needs:
+
+* :func:`is_pure` — may an expression be deleted, duplicated, or evaluated
+  early without changing observable behaviour?  "Observable" includes
+  interpreter *traps*: the reference backend turns division by zero and
+  out-of-bounds accesses into :class:`~repro.errors.TrapError`, and the
+  differential test suite asserts traps are preserved, so purity here
+  means *side-effect free and trap free*.
+* :func:`transform_exprs` / :func:`transform_stat` — a generic in-place
+  bottom-up expression rewriter over the typed tree, so peephole passes
+  (algebraic simplification) do not each reimplement statement traversal.
+"""
+
+from __future__ import annotations
+
+from ..core import tast
+from ..core import types as T
+
+#: binary operators that can never trap in either backend (integer
+#: division and modulo trap on zero; shifts are masked to the type width
+#: by the interpreter, matching x86 semantics, so they cannot trap).
+_NONTRAP_BINOPS = frozenset([
+    "+", "-", "*", "&", "|", "^", "and", "or", "<<", ">>",
+    "<", ">", "<=", ">=", "==", "~=",
+])
+
+
+def is_const(e) -> bool:
+    """A scalar compile-time constant (the shape the folder produces)."""
+    return isinstance(e, tast.TConst) and isinstance(e.type, T.PrimitiveType)
+
+
+def binop_may_trap(e: tast.TBinOp) -> bool:
+    """Division/modulo by a possibly-zero divisor may trap; float division
+    never traps (it yields inf/nan in both backends)."""
+    if e.op in ("/", "%"):
+        lt = e.lhs.type
+        if isinstance(lt, T.PrimitiveType) and lt.isfloat():
+            return False
+        if isinstance(lt, T.VectorType) and lt.isfloat():
+            return False
+        return not (is_const(e.rhs) and e.rhs.value != 0)
+    return e.op not in _NONTRAP_BINOPS
+
+
+def _pure_lvalue_chain(e: tast.TExpr) -> bool:
+    """An lvalue chain rooted at a local variable: loads from it cannot
+    trap (frame slots are always live while the function runs)."""
+    if isinstance(e, tast.TVar):
+        return True
+    if isinstance(e, tast.TSelect):
+        return _pure_lvalue_chain(e.obj)
+    return False
+
+
+def is_pure(e: tast.TExpr) -> bool:
+    """True when evaluating ``e`` has no side effects and cannot trap."""
+    if isinstance(e, (tast.TConst, tast.TString, tast.TNull, tast.TVar,
+                      tast.TGlobal, tast.TFuncLit, tast.TCallback)):
+        return True
+    if isinstance(e, tast.TUnOp):
+        return is_pure(e.operand)
+    if isinstance(e, tast.TBinOp):
+        if binop_may_trap(e):
+            return False
+        return is_pure(e.lhs) and is_pure(e.rhs)
+    if isinstance(e, tast.TLogical):
+        return is_pure(e.lhs) and is_pure(e.rhs)
+    if isinstance(e, tast.TCast):
+        return is_pure(e.expr)
+    if isinstance(e, tast.TSelect):
+        if _pure_lvalue_chain(e.obj):
+            return True
+        return not e.obj.lvalue and is_pure(e.obj)
+    if isinstance(e, tast.TIndex):
+        oty = e.obj.type
+        if isinstance(oty, T.ArrayType) and is_const(e.index) \
+                and 0 <= e.index.value < oty.count:
+            return _pure_lvalue_chain(e.obj) or \
+                (not e.obj.lvalue and is_pure(e.obj))
+        return False  # pointer indexing / runtime index: loads may trap
+    if isinstance(e, tast.TVectorIndex):
+        oty = e.obj.type
+        if isinstance(oty, T.VectorType) and is_const(e.index) \
+                and 0 <= e.index.value < oty.count:
+            return _pure_lvalue_chain(e.obj) or \
+                (not e.obj.lvalue and is_pure(e.obj))
+        return False
+    if isinstance(e, tast.TAddressOf):
+        return isinstance(e.operand, tast.TVar)
+    if isinstance(e, tast.TCtor):
+        return all(is_pure(x) for x in e.inits)
+    # TCall, TIntrinsic, TDeref, TLetIn and anything unknown: conservative
+    return False
+
+
+# -- generic in-place expression rewriting ----------------------------------------
+
+def transform_exprs(e: tast.TExpr, fn) -> tast.TExpr:
+    """Rewrite an expression bottom-up: children first, then ``fn(e)``.
+
+    ``fn`` receives every expression node and returns its replacement
+    (usually the node itself).  Blocks nested inside expressions
+    (``TLetIn``) have their statements rewritten too.
+    """
+    for field in e._fields:
+        child = getattr(e, field)
+        if isinstance(child, tast.TExpr):
+            setattr(e, field, transform_exprs(child, fn))
+        elif isinstance(child, tast.TBlock):
+            transform_block(child, fn)
+        elif isinstance(child, list):
+            setattr(e, field, [
+                transform_exprs(c, fn) if isinstance(c, tast.TExpr) else c
+                for c in child])
+    return fn(e)
+
+
+def transform_stat(s: tast.TStat, fn) -> None:
+    """Rewrite every expression under one statement (in place)."""
+    if isinstance(s, tast.TIf):
+        s.branches = [(transform_exprs(cond, fn), body)
+                      for cond, body in s.branches]
+        for _, body in s.branches:
+            transform_block(body, fn)
+        if s.orelse is not None:
+            transform_block(s.orelse, fn)
+        return
+    for field in s._fields:
+        child = getattr(s, field)
+        if isinstance(child, tast.TExpr):
+            setattr(s, field, transform_exprs(child, fn))
+        elif isinstance(child, tast.TBlock):
+            transform_block(child, fn)
+        elif isinstance(child, list):
+            setattr(s, field, [
+                transform_exprs(c, fn) if isinstance(c, tast.TExpr) else c
+                for c in child])
+
+
+def transform_block(block: tast.TBlock, fn) -> None:
+    for s in block.statements:
+        transform_stat(s, fn)

@@ -1,0 +1,209 @@
+"""Dead-local and dead-store elimination.
+
+Constant folding leaves husks behind in staged code: locals that held
+meta-level scaffolding, stores whose value is never observed.  This pass
+removes
+
+* declarations of locals that are never live (a pure initializer
+  disappears with the declaration; an impure one is kept as a bare
+  expression statement so its side effects and traps survive);
+* assignments to such locals (same purity rule for the right side).
+
+Liveness, not mere read-counting: a read that happens only inside a pure
+store to another local is attributed to that local (``var z = y * 2``
+makes ``y`` live only if ``z`` is), so chains of dead stores — including
+self-references like ``z = z + y`` — collapse in one pass.  Reads inside
+*impure* right-hand sides stay unconditionally live, because the
+expression is retained for its effects even when the target dies.
+Anything that is not a whole-variable store (``x.f = v``, ``x[i] = v``)
+keeps ``x`` alive, and taking a variable's address pins it forever
+(writes could flow back through the pointer).
+"""
+
+from __future__ import annotations
+
+from ..core import tast
+from ..core.symbols import Symbol
+from .analysis import is_pure
+from .manager import Pass, register_pass
+
+
+@register_pass
+class DeadCodePass(Pass):
+    """Remove never-live locals and stores to them."""
+
+    name = "dce"
+
+    def run(self, typed) -> bool:
+        changed_any = False
+        # iterate: removing statements can only shrink the tree, and a
+        # removal may expose new dead code in a later round
+        for _ in range(16):
+            usage = _Usage()
+            usage.collect_block(typed.body)
+            dead = usage.declared - usage.live()
+            if not dead:
+                break
+            if not _rewrite_block(typed.body, dead):
+                break
+            changed_any = True
+        return changed_any
+
+
+class _Usage:
+    """Liveness facts for one function body.
+
+    ``base_reads`` are reads that matter unconditionally;
+    ``edges[s]`` are symbols read only to compute a pure value stored
+    into ``s`` — they become live only if ``s`` does.
+    """
+
+    def __init__(self):
+        self.declared: set[Symbol] = set()
+        self.base_reads: set[Symbol] = set()
+        self.addr_taken: set[Symbol] = set()
+        self.edges: dict[Symbol, set[Symbol]] = {}
+
+    def live(self) -> set[Symbol]:
+        live = set(self.base_reads) | set(self.addr_taken)
+        work = list(live)
+        while work:
+            sym = work.pop()
+            for dep in self.edges.get(sym, ()):
+                if dep not in live:
+                    live.add(dep)
+                    work.append(dep)
+        return live
+
+    def _attribute(self, targets: list[Symbol], value: tast.TExpr) -> None:
+        """Reads inside a whole-variable store: live only if a target is.
+
+        Only pure values are attributed (an impure value survives as an
+        expression statement, so its reads are unconditional).  Removal
+        of a multi-target statement is all-or-nothing, so the reads hang
+        off *every* target: any live target keeps them live.
+        """
+        if is_pure(value):
+            sub = _Usage()
+            sub.collect_expr(value)
+            # nested address-taking and attributed sub-edges cannot occur
+            # in a pure expression's collection (TLetIn is impure), but
+            # fold conservatively if they ever do
+            self.addr_taken.update(sub.addr_taken)
+            for k, v in sub.edges.items():
+                self.edges.setdefault(k, set()).update(v)
+            for target in targets:
+                self.edges.setdefault(target, set()).update(sub.base_reads)
+        else:
+            self.collect_expr(value)
+
+    def collect_block(self, block: tast.TBlock) -> None:
+        for s in block.statements:
+            self.collect_stat(s)
+
+    def collect_stat(self, s: tast.TStat) -> None:
+        if isinstance(s, tast.TVarDecl):
+            self.declared.update(s.symbols)
+            if s.inits is not None:
+                for init in s.inits:
+                    self._attribute(list(s.symbols), init)
+            return
+        if isinstance(s, tast.TAssign):
+            whole = all(isinstance(t, tast.TVar) for t in s.lhs) \
+                and len(s.lhs) == len(s.rhs)
+            if whole:
+                targets = [t.symbol for t in s.lhs]
+                for value in s.rhs:
+                    self._attribute(targets, value)
+                return
+            for target in s.lhs:
+                if isinstance(target, tast.TVar):
+                    continue  # a direct store is not a read
+                self.collect_expr(target)
+            for e in s.rhs:
+                self.collect_expr(e)
+            return
+        if isinstance(s, tast.TIf):
+            for cond, body in s.branches:
+                self.collect_expr(cond)
+                self.collect_block(body)
+            if s.orelse is not None:
+                self.collect_block(s.orelse)
+            return
+        for field in s._fields:
+            child = getattr(s, field)
+            if isinstance(child, tast.TExpr):
+                self.collect_expr(child)
+            elif isinstance(child, tast.TBlock):
+                self.collect_block(child)
+            elif isinstance(child, list):
+                for c in child:
+                    if isinstance(c, tast.TExpr):
+                        self.collect_expr(c)
+
+    def collect_expr(self, e: tast.TExpr) -> None:
+        if isinstance(e, tast.TVar):
+            self.base_reads.add(e.symbol)
+            return
+        if isinstance(e, tast.TAddressOf) \
+                and isinstance(e.operand, tast.TVar):
+            self.addr_taken.add(e.operand.symbol)
+            return
+        for field in e._fields:
+            child = getattr(e, field)
+            if isinstance(child, tast.TExpr):
+                self.collect_expr(child)
+            elif isinstance(child, tast.TBlock):
+                self.collect_block(child)
+            elif isinstance(child, list):
+                for c in child:
+                    if isinstance(c, tast.TExpr):
+                        self.collect_expr(c)
+
+
+def _rewrite_block(block: tast.TBlock, dead: set[Symbol]) -> bool:
+    changed = False
+    out: list[tast.TStat] = []
+    for s in block.statements:
+        replacement = _rewrite_stat(s, dead)
+        if replacement is None:
+            out.append(s)
+        else:
+            changed = True
+            out.extend(replacement)
+    if changed:
+        block.statements = out
+    # recurse into nested blocks regardless
+    for s in block.statements:
+        if isinstance(s, tast.TIf):
+            for _, body in s.branches:
+                changed |= _rewrite_block(body, dead)
+            if s.orelse is not None:
+                changed |= _rewrite_block(s.orelse, dead)
+        elif isinstance(s, (tast.TWhile, tast.TRepeat, tast.TForNum,
+                            tast.TDoStat)):
+            changed |= _rewrite_block(s.body, dead)
+    return changed
+
+
+def _rewrite_stat(s: tast.TStat, dead: set[Symbol]):
+    """Return None to keep the statement, or its replacement list."""
+    if isinstance(s, tast.TVarDecl):
+        if not all(sym in dead for sym in s.symbols):
+            return None  # partial multi-declarations are kept whole
+        kept: list[tast.TStat] = []
+        if s.inits is not None:
+            for init in s.inits:
+                if not is_pure(init):
+                    kept.append(tast.TExprStat(init, s.location))
+        return kept
+    if isinstance(s, tast.TAssign):
+        if not all(isinstance(t, tast.TVar) and t.symbol in dead
+                   for t in s.lhs):
+            return None
+        kept = []
+        for rhs in s.rhs:
+            if not is_pure(rhs):
+                kept.append(tast.TExprStat(rhs, s.location))
+        return kept
+    return None

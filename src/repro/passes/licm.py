@@ -1,0 +1,215 @@
+"""Loop-invariant code motion.
+
+Staged kernels (the autotuner's blocked GEMM, for instance) index with
+expressions like ``i * N + kb`` inside triply-nested loops; when the
+inner loop does not change ``i`` or ``kb``, the multiply is recomputed
+every iteration.  This pass hoists such expressions to a temporary
+declared just before the loop.
+
+Deliberately conservative — a hoisted expression must be
+
+* **pure and trap-free** (:func:`~repro.passes.analysis.is_pure`):
+  hoisting moves evaluation to before the first iteration, and for
+  ``while``/``for`` loops the body may run *zero* times, so anything
+  that could trap or have an effect must stay put;
+* **scalar arithmetic over invariants**: built only from constants and
+  local variables that the loop provably never mutates (no direct
+  assignment inside the loop, not the loop variable, not declared in the
+  loop, and never address-taken anywhere in the function — a store
+  through a pointer could alias any address-taken local).  Globals and
+  memory loads are never treated as invariant because a call inside the
+  loop could mutate them;
+* **non-trivial**: it contains at least one variable (pure-constant
+  expressions are the fold pass's job) and at least one operation.
+
+Loops are processed innermost-first so an expression invariant in several
+nested loops is hoisted out of all of them, one level per step.  The
+rewritten loop is wrapped in a ``do`` block holding the temporaries, so
+their scope stays tight.
+"""
+
+from __future__ import annotations
+
+from ..core import tast
+from ..core import types as T
+from ..core.symbols import Symbol
+from .analysis import is_pure, transform_exprs
+from .manager import Pass, register_pass
+
+
+@register_pass
+class LoopInvariantPass(Pass):
+    """Hoist invariant scalar arithmetic out of loops."""
+
+    name = "licm"
+
+    def run(self, typed) -> bool:
+        addr_taken: set[Symbol] = set()
+        for node in tast.walk(typed.body):
+            if isinstance(node, tast.TAddressOf) \
+                    and isinstance(node.operand, tast.TVar):
+                addr_taken.add(node.operand.symbol)
+        changed = _rewrite_block(typed.body, addr_taken)
+        return changed
+
+
+_LOOPS = (tast.TWhile, tast.TRepeat, tast.TForNum)
+
+
+def _rewrite_block(block: tast.TBlock, addr_taken: set[Symbol]) -> bool:
+    changed = False
+    out: list[tast.TStat] = []
+    for s in block.statements:
+        # innermost loops first
+        for child in _child_blocks(s):
+            changed |= _rewrite_block(child, addr_taken)
+        if isinstance(s, _LOOPS):
+            replacement = _hoist_loop(s, addr_taken)
+            if replacement is not None:
+                out.append(replacement)
+                changed = True
+                continue
+        out.append(s)
+    block.statements = out
+    return changed
+
+
+def _child_blocks(s: tast.TStat):
+    if isinstance(s, tast.TIf):
+        for _, body in s.branches:
+            yield body
+        if s.orelse is not None:
+            yield s.orelse
+    else:
+        for field in s._fields:
+            child = getattr(s, field)
+            if isinstance(child, tast.TBlock):
+                yield child
+
+
+def _hoist_loop(loop: tast.TStat, addr_taken: set[Symbol]):
+    """Hoist invariant subexpressions out of one loop.  Returns the
+    replacement statement (a ``do`` block: temp decls + the loop), or
+    None when nothing was hoisted."""
+    mutated = _mutated_symbols(loop)
+
+    def invariant_var(e: tast.TExpr) -> bool:
+        return isinstance(e, tast.TVar) and e.symbol not in mutated \
+            and e.symbol not in addr_taken
+
+    def hoistable(e: tast.TExpr) -> bool:
+        """Invariant scalar arithmetic built from invariant locals."""
+        if isinstance(e, tast.TConst):
+            return isinstance(e.type, T.PrimitiveType)
+        if invariant_var(e):
+            return isinstance(e.type, T.PrimitiveType)
+        if isinstance(e, tast.TUnOp):
+            return isinstance(e.type, T.PrimitiveType) and is_pure(e) \
+                and hoistable(e.operand)
+        if isinstance(e, tast.TBinOp):
+            return isinstance(e.type, T.PrimitiveType) and is_pure(e) \
+                and hoistable(e.lhs) and hoistable(e.rhs)
+        if isinstance(e, tast.TCast):
+            return e.kind == "numeric" \
+                and isinstance(e.type, T.PrimitiveType) \
+                and hoistable(e.expr)
+        return False
+
+    def nontrivial(e: tast.TExpr) -> bool:
+        """Worth a temporary: an operation that reads >= 1 variable."""
+        if not isinstance(e, (tast.TBinOp, tast.TUnOp, tast.TCast)):
+            return False
+        return any(isinstance(n, tast.TVar) for n in tast.walk(e))
+
+    hoisted: dict[tuple, tuple[Symbol, tast.TExpr]] = {}
+
+    def visit(e: tast.TExpr) -> tast.TExpr:
+        # children were already rewritten (bottom-up), so a maximal
+        # invariant expression is seen after its pieces; only replace
+        # maximal ones by checking at every node and letting outer
+        # replacements subsume inner temps via the dedup key
+        if not (hoistable(e) and nontrivial(e)):
+            return e
+        key = _structural_key(e)
+        found = hoisted.get(key)
+        if found is None:
+            sym = Symbol(e.type, "licm")
+            hoisted[key] = (sym, e)
+        else:
+            sym = found[0]
+        return tast.TVar(sym, e.type, e.location)
+
+    _rewrite_loop_exprs(loop, visit)
+    if not hoisted:
+        return None
+    # temps that ended up used only inside other temps' initializers are
+    # harmless: dce runs after licm and sweeps them
+    decls: list[tast.TStat] = []
+    for sym, expr in hoisted.values():
+        decls.append(tast.TVarDecl([sym], [expr.type], [expr],
+                                   loop.location))
+    return tast.TDoStat(tast.TBlock(decls + [loop], loop.location),
+                        loop.location)
+
+
+def _rewrite_loop_exprs(loop: tast.TStat, visit) -> None:
+    """Rewrite the loop's own invariant-evaluation points: the body, the
+    condition, and (for ``for``) the bound expressions.  All of these are
+    evaluated after the hoisted temps would be, so replacing them with
+    temp reads is safe even for zero-trip loops (the temps are pure)."""
+    if isinstance(loop, tast.TWhile):
+        loop.cond = transform_exprs(loop.cond, visit)
+        _rewrite_body(loop.body, visit)
+    elif isinstance(loop, tast.TRepeat):
+        _rewrite_body(loop.body, visit)
+        loop.cond = transform_exprs(loop.cond, visit)
+    elif isinstance(loop, tast.TForNum):
+        loop.start = transform_exprs(loop.start, visit)
+        loop.limit = transform_exprs(loop.limit, visit)
+        if loop.step is not None:
+            loop.step = transform_exprs(loop.step, visit)
+        _rewrite_body(loop.body, visit)
+
+
+def _rewrite_body(block: tast.TBlock, visit) -> None:
+    # inner loops were already hoisted (innermost-first); their remaining
+    # expressions still get rewritten here, since anything invariant in
+    # the outer loop is invariant in the inner one too
+    from .analysis import transform_stat
+    for s in block.statements:
+        transform_stat(s, visit)
+
+
+def _mutated_symbols(loop: tast.TStat) -> set[Symbol]:
+    """Locals the loop may change: direct assignment targets, symbols
+    declared inside (their lifetime is per-iteration), and the loop
+    variable itself."""
+    mutated: set[Symbol] = set()
+    if isinstance(loop, tast.TForNum):
+        mutated.add(loop.symbol)
+    for node in tast.walk(loop):
+        if isinstance(node, tast.TAssign):
+            for target in node.lhs:
+                if isinstance(target, tast.TVar):
+                    mutated.add(target.symbol)
+        elif isinstance(node, tast.TVarDecl):
+            mutated.update(node.symbols)
+        elif isinstance(node, tast.TForNum):
+            mutated.add(node.symbol)
+    return mutated
+
+
+def _structural_key(e: tast.TExpr):
+    """A hashable structural identity for dedup (symbols by identity)."""
+    if isinstance(e, tast.TConst):
+        return ("const", e.type, e.value)
+    if isinstance(e, tast.TVar):
+        return ("var", e.symbol)
+    if isinstance(e, tast.TUnOp):
+        return ("unop", e.op, e.type, _structural_key(e.operand))
+    if isinstance(e, tast.TBinOp):
+        return ("binop", e.op, e.type, _structural_key(e.lhs),
+                _structural_key(e.rhs))
+    if isinstance(e, tast.TCast):
+        return ("cast", e.kind, e.type, _structural_key(e.expr))
+    return ("node", id(e))

@@ -1,0 +1,252 @@
+"""The pass manager — one verified, pass-managed pipeline over the typed IR.
+
+Terra separates *staging* (Lua builds the program) from *execution* (LLVM
+optimizes and runs it).  Our reproduction's analog of the optimizer is
+this pipeline: an ordered list of individually-switchable passes that
+every backend consumes, run **once per function** and cached on the
+:class:`~repro.core.tast.TypedFunction` (``pipeline_level``), so the C
+emitter and the reference interpreter always see the *same* program text.
+
+Environment switches:
+
+* ``REPRO_TERRA_PIPELINE=<0|1|2>`` — force a pipeline level process-wide
+  (0 = raw typed IR, 1 = canonicalize: fold/simplify/dce, 2 = full: +licm);
+* ``REPRO_TERRA_DISABLE_PASSES=licm,dce`` — drop individual passes;
+* ``REPRO_TERRA_DUMP_IR=<pass|all>`` — print the IR before and after the
+  named pass (or every pass) to stderr, rendered through
+  :mod:`repro.core.prettyprint`;
+* ``REPRO_TERRA_VERIFY_IR=1`` — run the IR verifier after typechecking
+  and again after every transform, turning silent miscompiles into
+  :class:`~repro.errors.IRVerifyError` diagnostics.
+
+Per-pass wall time is merged into the :mod:`repro.buildd` telemetry, so
+``python -m repro.buildd --stats`` reports where *IR* time went alongside
+where *gcc* time went.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from ..errors import CompileError
+
+# -- pipeline levels --------------------------------------------------------------
+
+#: raw typed IR, exactly as the typechecker produced it
+PIPELINE_NONE = 0
+#: canonicalizing cleanups: constant folding, algebraic simplification,
+#: dead-local elimination — enough to make equivalent stagings emit
+#: byte-identical C (and hit the buildd artifact cache)
+PIPELINE_CANON = 1
+#: the full pipeline: canonicalization plus loop-invariant hoisting
+PIPELINE_FULL = 2
+
+LEVEL_PASSES: dict[int, tuple[str, ...]] = {
+    PIPELINE_NONE: (),
+    PIPELINE_CANON: ("fold", "simplify", "dce"),
+    PIPELINE_FULL: ("fold", "simplify", "licm", "dce"),
+}
+
+
+class Pass:
+    """One transformation (or analysis) over a typed function body.
+
+    Subclasses set ``name`` and implement :meth:`run`, which transforms
+    the function in place and returns True when anything changed.
+    """
+
+    name: str = "abstract"
+
+    def run(self, typed) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<pass {self.name}>"
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_pass(cls: type) -> type:
+    """Class decorator: make a Pass constructible by name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_passes() -> list[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def create_pass(name: str) -> Pass:
+    _ensure_registered()
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise CompileError(
+            f"unknown IR pass {name!r} (available: "
+            f"{', '.join(sorted(_REGISTRY))})")
+    return cls()
+
+
+def _ensure_registered() -> None:
+    """Import the pass modules (each registers itself on import)."""
+    from . import dce, fold, licm, simplify, verify  # noqa: F401
+
+
+# -- env plumbing -----------------------------------------------------------------
+
+def _env_verify() -> bool:
+    return os.environ.get("REPRO_TERRA_VERIFY_IR", "") not in ("", "0")
+
+
+def _env_dump() -> Optional[str]:
+    return os.environ.get("REPRO_TERRA_DUMP_IR") or None
+
+
+def _env_disabled() -> set[str]:
+    raw = os.environ.get("REPRO_TERRA_DISABLE_PASSES", "")
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+#: process-wide level override installed by :func:`pipeline_override`
+_level_override: Optional[int] = None
+
+
+@contextmanager
+def pipeline_override(level: int):
+    """Force every subsequent pipeline run to ``level`` (tests use level 0
+    to compile a function with the raw typed IR)."""
+    global _level_override
+    saved = _level_override
+    _level_override = level
+    try:
+        yield
+    finally:
+        _level_override = saved
+
+
+def resolve_level(level: Optional[int] = None) -> int:
+    """The effective pipeline level: override > environment > request."""
+    if _level_override is not None:
+        return _level_override
+    env = os.environ.get("REPRO_TERRA_PIPELINE")
+    if env is not None and env != "":
+        try:
+            return max(PIPELINE_NONE, min(PIPELINE_FULL, int(env)))
+        except ValueError:
+            raise CompileError(
+                f"REPRO_TERRA_PIPELINE must be 0..2, got {env!r}")
+    return PIPELINE_FULL if level is None else level
+
+
+# -- the manager ------------------------------------------------------------------
+
+class PassManager:
+    """An ordered, switchable sequence of IR passes.
+
+    ``passes`` is a sequence of pass names or :class:`Pass` instances;
+    names listed in ``REPRO_TERRA_DISABLE_PASSES`` are dropped.  ``verify``
+    and ``dump`` default from the environment (see module docstring).
+    """
+
+    def __init__(self, passes: Optional[Sequence] = None, *,
+                 verify: Optional[bool] = None, dump: Optional[str] = None,
+                 record_stats: bool = True):
+        if passes is None:
+            passes = LEVEL_PASSES[PIPELINE_FULL]
+        resolved = [create_pass(p) if isinstance(p, str) else p
+                    for p in passes]
+        disabled = _env_disabled()
+        self.passes: list[Pass] = [p for p in resolved
+                                   if p.name not in disabled]
+        self.verify = _env_verify() if verify is None else verify
+        self.dump = _env_dump() if dump is None else dump
+        self.record_stats = record_stats
+        #: per-pass records of the most recent :meth:`run`
+        self.last_run: list[dict] = []
+
+    def disable(self, name: str) -> None:
+        self.passes = [p for p in self.passes if p.name != name]
+
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, typed) -> list[dict]:
+        """Run every pass over ``typed`` (a TypedFunction), in order.
+
+        Returns per-pass records ``{"pass", "seconds", "changed"}`` and
+        keeps them in :attr:`last_run`.  With verification on, the
+        verifier runs on the input tree and again after every transform.
+        """
+        from .verify import verify_function
+        if self.verify:
+            verify_function(typed, where="after typechecking")
+        records: list[dict] = []
+        for p in self.passes:
+            self._dump(typed, p.name, "before")
+            t0 = time.perf_counter()
+            changed = bool(p.run(typed))
+            seconds = time.perf_counter() - t0
+            self._dump(typed, p.name, "after")
+            if self.verify and p.name != "verify":
+                verify_function(typed, where=f"after pass {p.name!r}")
+            records.append(
+                {"pass": p.name, "seconds": seconds, "changed": changed})
+            if self.record_stats:
+                _record_pass_time(p.name, seconds)
+        self.last_run = records
+        return records
+
+    def _dump(self, typed, pass_name: str, when: str) -> None:
+        if self.dump is None or self.dump not in (pass_name, "all"):
+            return
+        from ..core.prettyprint import format_typed_ir
+        header = f"-- IR {when} pass {pass_name!r} ({typed.name}) --"
+        print(header, file=sys.stderr)
+        print(format_typed_ir(typed), file=sys.stderr)
+
+
+def _record_pass_time(name: str, seconds: float) -> None:
+    """Merge pass timing into the buildd telemetry (best-effort: the
+    pipeline must keep working even if the compile service cannot start,
+    e.g. on a host with no usable temp dir)."""
+    try:
+        from ..buildd import get_service
+        get_service().stats.record_pass(name, seconds)
+    except Exception:
+        pass
+
+
+# -- per-function pipeline entry points -------------------------------------------
+
+def run_pipeline(typed, level: Optional[int] = None) -> bool:
+    """Run the level's pipeline over one TypedFunction, exactly once.
+
+    The result is cached via ``typed.pipeline_level`` under the
+    function's pipeline lock, so concurrent compiles (two backends, two
+    threads racing through the linker) can neither double-transform the
+    tree nor observe it half-rewritten.  Re-entry at the same or a lower
+    level is a no-op; a higher level runs the higher pipeline (every
+    transform pass is idempotent).  Returns True if passes ran.
+    """
+    level = resolve_level(level)
+    with typed._pipeline_lock:
+        if typed.pipeline_level >= level:
+            return False
+        manager = PassManager(LEVEL_PASSES[level])
+        manager.run(typed)
+        typed.pipeline_level = level
+    return True
+
+
+def run_function_pipeline(fn, level: Optional[int] = None) -> bool:
+    """Pipeline entry point for a TerraFunction (no-op for externals and
+    functions that have not been typechecked yet)."""
+    typed = getattr(fn, "typed", None)
+    if typed is None or getattr(fn, "is_external", False):
+        return False
+    return run_pipeline(typed, level)

@@ -1,0 +1,168 @@
+"""PassManager behavior: ordering, switches, caching, telemetry, dumps."""
+
+import pytest
+
+from repro import terra
+from repro.core import tast
+from repro.errors import CompileError
+from repro.passes import (
+    LEVEL_PASSES,
+    PIPELINE_CANON,
+    PIPELINE_FULL,
+    PIPELINE_NONE,
+    PassManager,
+    available_passes,
+    create_pass,
+    pipeline_override,
+    resolve_level,
+    run_pipeline,
+)
+
+
+def typed_fn(source, env=None):
+    fn = terra(source, env=env or {})
+    fn.ensure_typechecked()
+    return fn
+
+
+class TestRegistry:
+    def test_all_passes_registered(self):
+        names = available_passes()
+        for expected in ("fold", "simplify", "dce", "licm", "verify"):
+            assert expected in names
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(CompileError, match="unknown IR pass"):
+            create_pass("vectorize-everything")
+
+    def test_level_passes_are_registered(self):
+        for level, names in LEVEL_PASSES.items():
+            for name in names:
+                assert name in available_passes(), (level, name)
+
+
+class TestManager:
+    def test_runs_in_order_and_records(self):
+        fn = typed_fn("terra f(x : int) : int return (x + 0) + (2 * 3) end")
+        manager = PassManager(["fold", "simplify", "dce"], verify=True)
+        records = manager.run(fn.typed)
+        assert [r["pass"] for r in records] == ["fold", "simplify", "dce"]
+        assert all(r["seconds"] >= 0 for r in records)
+        assert records[0]["changed"]  # 2 * 3 folded
+
+    def test_disable_method(self):
+        manager = PassManager(["fold", "simplify", "dce"])
+        manager.disable("simplify")
+        assert manager.pass_names() == ["fold", "dce"]
+
+    def test_disable_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_DISABLE_PASSES", "licm, dce")
+        manager = PassManager(["fold", "simplify", "licm", "dce"])
+        assert manager.pass_names() == ["fold", "simplify"]
+
+    def test_dump_ir(self, monkeypatch, capsys):
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        manager = PassManager(["fold"], dump="fold", verify=False)
+        manager.run(fn.typed)
+        err = capsys.readouterr().err
+        assert "IR before pass 'fold'" in err
+        assert "IR after pass 'fold'" in err
+        assert "terra f" in err
+
+    def test_pass_timing_reaches_buildd_stats(self):
+        from repro.buildd import get_service
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        PassManager(["fold"]).run(fn.typed)
+        snap = get_service().stats.snapshot()
+        assert snap["passes"]["fold"]["runs"] >= 1
+        assert snap["passes"]["fold"]["seconds"] >= 0
+
+
+class TestLevels:
+    def test_resolve_default_is_full(self):
+        assert resolve_level(None) == PIPELINE_FULL
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", "1")
+        assert resolve_level(None) == PIPELINE_CANON
+        assert resolve_level(PIPELINE_FULL) == PIPELINE_CANON
+
+    def test_resolve_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", "fast")
+        with pytest.raises(CompileError, match="REPRO_TERRA_PIPELINE"):
+            resolve_level(None)
+
+    def test_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", "2")
+        with pipeline_override(PIPELINE_NONE):
+            assert resolve_level(None) == PIPELINE_NONE
+        assert resolve_level(None) == PIPELINE_FULL
+
+
+class TestCaching:
+    def test_pipeline_runs_once(self):
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        assert fn.typed.pipeline_level == 0
+        assert run_pipeline(fn.typed, PIPELINE_FULL) is True
+        assert fn.typed.pipeline_level == PIPELINE_FULL
+        # re-entry at the same or lower level is a no-op
+        assert run_pipeline(fn.typed, PIPELINE_FULL) is False
+        assert run_pipeline(fn.typed, PIPELINE_CANON) is False
+
+    def test_level_upgrades(self):
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        assert run_pipeline(fn.typed, PIPELINE_CANON) is True
+        assert fn.typed.pipeline_level == PIPELINE_CANON
+        assert run_pipeline(fn.typed, PIPELINE_FULL) is True
+        assert fn.typed.pipeline_level == PIPELINE_FULL
+
+    def test_level_zero_is_identity(self):
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        before = sum(1 for _ in tast.walk(fn.typed.body))
+        with pipeline_override(PIPELINE_NONE):
+            assert run_pipeline(fn.typed) is False
+        assert sum(1 for _ in tast.walk(fn.typed.body)) == before
+        assert fn.typed.pipeline_level == 0
+
+    def test_compile_shares_pipelined_tree(self):
+        """Both backends see the same canonicalized tree: compiling on the
+        interpreter first and gcc second does not re-run the passes."""
+        fn = typed_fn("terra f(x : int) : int return x + 2 * 3 end")
+        assert fn.compile("interp")(1) == 7
+        level_after_interp = fn.typed.pipeline_level
+        body_ids = [id(s) for s in fn.typed.body.statements]
+        assert fn.compile("c")(1) == 7
+        assert fn.typed.pipeline_level == level_after_interp == PIPELINE_FULL
+        assert [id(s) for s in fn.typed.body.statements] == body_ids
+
+
+class TestBackendsUsePipeline:
+    def test_interp_backend_has_no_private_optimizer(self):
+        """Acceptance: the interpreter must obtain IR exclusively through
+        the pass manager — no direct optimize_function import."""
+        import repro.backend.interp.machine as machine
+        path = machine.__file__
+        with open(path) as f:
+            source = f.read()
+        assert "optimize_function" not in source
+
+    def test_backends_declare_pipeline_level(self):
+        """The interpreter wants the FULL pipeline (nothing optimizes
+        downstream of it); the C backend stops at CANON because gcc -O3
+        subsumes LICM and pre-hoisted temps only enlarge the unit."""
+        from repro.backend.base import get_backend
+        assert get_backend("interp").pipeline_level == PIPELINE_FULL
+        assert get_backend("c").pipeline_level == PIPELINE_CANON
+
+    def test_emitted_c_reflects_pipeline(self):
+        fn = typed_fn("terra f(x : int) : int return x + 2 * 3 end",
+                      env={})
+        source = fn.get_c_source()
+        assert "6" in source          # 2 * 3 folded before emission
+        assert "2 * 3" not in source
+
+    def test_get_optimized_ir(self):
+        fn = typed_fn("terra f(x : int) : int return (x + 0) + 2 * 3 end")
+        text = fn.get_optimized_ir()
+        assert "terra f" in text
+        assert "6" in text and "2 * 3" not in text

@@ -1,0 +1,157 @@
+"""Algebraic simplification: identities applied, unsafe cases left alone."""
+
+import pytest
+
+from repro import terra
+from repro.core import tast
+from repro.errors import TrapError
+from repro.passes.simplify import SimplifyPass
+
+
+def typed_fn(source, env=None):
+    fn = terra(source, env=env or {})
+    fn.ensure_typechecked()
+    return fn
+
+
+def binops(body):
+    return [n for n in tast.walk(body) if isinstance(n, tast.TBinOp)]
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("expr", [
+        "x + 0", "x - 0", "0 + x",
+        "x * 1", "1 * x", "x / 1",
+        "x << 0", "x >> 0",
+    ])
+    def test_identity_erased(self, expr):
+        fn = typed_fn("terra f(x : int) : int return %s end" % expr)
+        assert SimplifyPass().run(fn.typed) is True
+        assert binops(fn.typed.body) == []
+        assert fn.compile("interp")(11) == 11
+
+    def test_bitwise_identities(self):
+        fn = typed_fn("""
+        terra f(x : int) : int
+          var a = x or 0
+          var b = x and -1
+          return (a ^ 0) + (0 ^ b) - x
+        end
+        """)
+        SimplifyPass().run(fn.typed)
+        assert fn.compile("interp")(37) == 37
+
+    def test_mul_zero_pure_folds(self):
+        fn = typed_fn("terra f(x : int) : int return x * 0 end")
+        assert SimplifyPass().run(fn.typed) is True
+        assert binops(fn.typed.body) == []
+        ret = fn.typed.body.statements[-1]
+        assert isinstance(ret.expr, tast.TConst)
+        assert ret.expr.value == 0
+
+    def test_mul_zero_impure_kept(self):
+        """(x/y) * 0 must still trap when y == 0, so it is not folded."""
+        fn = typed_fn("terra f(x : int, y : int) : int return (x/y) * 0 end")
+        SimplifyPass().run(fn.typed)
+        divides = [b for b in binops(fn.typed.body) if b.op == "/"]
+        assert len(divides) == 1
+        assert fn.compile("interp")(10, 2) == 0
+        with pytest.raises(TrapError):
+            fn.compile("interp")(10, 0)
+
+    def test_float_identity_not_applied(self):
+        """x + 0.0 changes -0.0, and x * 0.0 changes NaN: floats are left
+        untouched."""
+        fn = typed_fn(
+            "terra f(x : double) : double return (x + 0.0) * 1.0 end")
+        assert SimplifyPass().run(fn.typed) is False
+        assert len(binops(fn.typed.body)) == 2
+
+    def test_double_negation(self):
+        fn = typed_fn("terra f(x : int) : int return -(-x) end")
+        assert SimplifyPass().run(fn.typed) is True
+        assert not any(isinstance(n, tast.TUnOp)
+                       for n in tast.walk(fn.typed.body))
+        assert fn.compile("interp")(-9) == -9
+
+    def test_double_not(self):
+        fn = typed_fn(
+            "terra f(b : bool) : bool return not (not b) end")
+        assert SimplifyPass().run(fn.typed) is True
+        assert fn.compile("interp")(True) is True
+        assert fn.compile("interp")(False) is False
+
+    def test_float_negation_not_simplified(self):
+        """-(-x) is actually exact for floats too, but the pass is scoped
+        to integers; check it leaves floats alone rather than asserting
+        anything subtle."""
+        fn = typed_fn("terra f(x : double) : double return -(-x) end")
+        assert SimplifyPass().run(fn.typed) is False
+
+
+class TestReassociation:
+    def test_chained_constants_merge(self):
+        fn = typed_fn("terra f(x : int) : int return (x + 3) + 4 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1
+        assert isinstance(ops[0].rhs, tast.TConst)
+        assert ops[0].rhs.value == 7
+        assert fn.compile("interp")(10) == 17
+
+    def test_const_on_left_canonicalized(self):
+        """3 + (4 + x) normalizes to x + 7 — equivalent stagings produce
+        identical trees (and identical C, for the buildd cache)."""
+        a = typed_fn("terra f(x : int) : int return 3 + (4 + x) end")
+        b = typed_fn("terra f(x : int) : int return (x + 3) + 4 end")
+        SimplifyPass().run(a.typed)
+        SimplifyPass().run(b.typed)
+        ra = a.typed.body.statements[-1].expr
+        rb = b.typed.body.statements[-1].expr
+        assert isinstance(ra, tast.TBinOp) and isinstance(rb, tast.TBinOp)
+        assert isinstance(ra.lhs, tast.TVar) and isinstance(rb.lhs, tast.TVar)
+        assert ra.rhs.value == rb.rhs.value == 7
+
+    def test_multiply_chain(self):
+        fn = typed_fn("terra f(x : int) : int return (x * 2) * 8 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].rhs.value == 16
+        assert fn.compile("interp")(3) == 48
+
+    def test_reassociation_wraps_like_c(self):
+        """(x + INT_MAX) + 1 -> x + INT_MIN: constants combine with
+        wrapping arithmetic, matching what two separate adds would do."""
+        fn = typed_fn(
+            "terra f(x : int) : int return (x + 2147483647) + 1 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1
+        assert ops[0].rhs.value == -2147483648
+        assert fn.compile("interp")(5) == 5 - 2147483648
+
+    def test_mixed_ops_not_reassociated(self):
+        fn = typed_fn("terra f(x : int) : int return (x + 3) * 4 end")
+        assert SimplifyPass().run(fn.typed) is False
+        assert len(binops(fn.typed.body)) == 2
+
+    def test_float_not_reassociated(self):
+        fn = typed_fn(
+            "terra f(x : double) : double return (x + 1.0e16) + 1.0 end")
+        assert SimplifyPass().run(fn.typed) is False
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("x", [-7, 0, 1, 255, 2**31 - 1])
+    def test_differential(self, x):
+        src = """
+        terra f(x : int) : int
+          var a = (x + 0) * 1
+          var b = (a + 5) + 6
+          return -(-b) + 0 * a + b * 0
+        end
+        """
+        raw = typed_fn(src)
+        opt = typed_fn(src)
+        SimplifyPass().run(opt.typed)
+        assert raw.compile("interp")(x) == opt.compile("interp")(x)
