@@ -153,6 +153,16 @@ class CEmitter:
     # ==================================================================
     # unit emission
     # ==================================================================
+    def _fn_body(self, fn) -> tast.TBlock:
+        """``fn``'s body at this backend's pipeline level.
+
+        Served through the per-level cache in :mod:`repro.passes`, so the
+        emitted C does not depend on whether another backend that wants a
+        higher level (the interpreter runs LICM) compiled first."""
+        from ...passes import pipelined_body
+        return pipelined_body(fn.typed,
+                              getattr(self.backend, "pipeline_level", None))
+
     def emit_unit(self) -> str:
         # pass 0: with REPRO_TERRA_VERIFY_IR=1, re-check the typed trees
         # right before they become C — the last point a broken invariant
@@ -161,7 +171,8 @@ class CEmitter:
             from ...passes.verify import verify_function
             for fn in self.component:
                 if not fn.is_external and fn.typed is not None:
-                    verify_function(fn.typed, where="before C emission")
+                    verify_function(fn.typed, where="before C emission",
+                                    body=self._fn_body(fn))
         # pass 1: register every type reachable from the component
         for fn in self.component:
             self.fn_name(fn)
@@ -170,7 +181,7 @@ class CEmitter:
                 self._register(p)
             self._register(ftype.returntype)
             if not fn.is_external:
-                for node in tast.walk(fn.typed.body):
+                for node in tast.walk(self._fn_body(fn)):
                     ty = getattr(node, "type", None)
                     if isinstance(ty, T.Type) and not isinstance(ty, T.FunctionType):
                         self._register(ty)
@@ -351,7 +362,7 @@ class CEmitter:
     def _emit_function(self, fn) -> None:
         self._line(self._prototype(fn) + " {")
         self.indent += 1
-        self._emit_block_stmts(fn.typed.body)
+        self._emit_block_stmts(self._fn_body(fn))
         self.indent -= 1
         self._line("}")
         self._line("")

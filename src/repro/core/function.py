@@ -209,15 +209,15 @@ class TerraFunction:
     def get_optimized_ir(self, level: Optional[int] = None) -> str:
         """The typed IR after the :mod:`repro.passes` pipeline — what both
         backends actually compile.  ``level`` picks a pipeline level
-        (default: the full pipeline); since the pipeline only ever moves
-        forward, asking for a lower level than already applied returns
-        the tree at the level previously reached."""
-        from ..passes import run_pipeline
+        (default: the full pipeline); the tree is returned at exactly
+        that level even when an earlier compile already advanced the
+        in-place tree further (served from the per-level snapshots)."""
+        from ..passes import pipelined_body
         from .prettyprint import format_typed_ir
         self.ensure_typechecked()
         assert self.typed is not None
-        run_pipeline(self.typed, level)
-        return format_typed_ir(self.typed)
+        body = pipelined_body(self.typed, level)
+        return format_typed_ir(self.typed, body=body)
 
     def __repr__(self) -> str:
         ty = self._type if self._type is not None else "<untypechecked>"

@@ -92,10 +92,11 @@ def pipelined_component(fn: TerraFunction, backend) -> list[TerraFunction]:
     typed IR to the backend's requested pipeline level.
 
     This is the single point where the :mod:`repro.passes` pipeline runs:
-    backends receive the component *after* it, so the C emitter and the
-    reference interpreter always compile the same optimized tree, and a
-    function shared by two compiles is only transformed once
-    (``TypedFunction.pipeline_level`` caches the level reached).
+    backends receive the component *after* it, each at its declared level
+    regardless of compile order (``repro.passes.pipelined_body`` serves
+    lower levels from snapshots), and a function shared by two compiles
+    is only transformed once (``TypedFunction.pipeline_level`` caches the
+    level reached).
     """
     from ..passes import run_function_pipeline
     component = connected_component(fn)

@@ -188,17 +188,18 @@ def format_typed(fn) -> str:
     return format_typed_ir(typed)
 
 
-def format_typed_ir(typed: tast.TypedFunction) -> str:
+def format_typed_ir(typed: tast.TypedFunction, body=None) -> str:
     """Render a TypedFunction directly (the pass manager's IR dumps use
     this: mid-pipeline there is only the typed tree, no TerraFunction
-    wrapper involvement needed)."""
+    wrapper involvement needed).  ``body`` renders an alternate body for
+    the same function, e.g. a per-level pipeline snapshot."""
     p = _Printer()
     params = ", ".join(
         f"{s.name} : {t}"
         for s, t in zip(typed.param_symbols, typed.type.parameters))
     p.line(f"terra {typed.name}({params}) : {typed.type.returntype}")
     p.depth += 1
-    _typed_block(p, typed.body)
+    _typed_block(p, typed.body if body is None else body)
     p.depth -= 1
     p.line("end")
     return p.render()

@@ -414,6 +414,11 @@ class TypedFunction:
         #: double-transform the tree nor observe it half-rewritten.
         self.pipeline_level: int = 0
         self._pipeline_lock = threading.Lock()
+        #: per-level body snapshots, cloned by the pipeline just before it
+        #: advances ``body`` past a level; a backend that requests a level
+        #: the in-place tree has already moved beyond is served from these
+        #: (see :func:`repro.passes.pipelined_body`).
+        self._pipeline_bodies: dict[int, TBlock] = {}
 
     @property
     def name(self) -> str:
@@ -429,3 +434,23 @@ def walk(node):
     elif isinstance(node, (list, tuple)):
         for item in node:
             yield from walk(item)
+
+
+def clone(node):
+    """Structurally clone a typed (sub)tree.
+
+    TNodes are duplicated; symbols, types, globals, functions, and source
+    locations are shared by reference, so identity-based facts (interned
+    types, symbol scoping) survive the copy.  The pass pipeline uses this
+    to snapshot a function body before transforming it further.
+    """
+    if isinstance(node, TNode):
+        new = object.__new__(type(node))
+        for key, value in vars(node).items():
+            new.__dict__[key] = clone(value)
+        return new
+    if isinstance(node, list):
+        return [clone(item) for item in node]
+    if isinstance(node, tuple):
+        return tuple(clone(item) for item in node)
+    return node

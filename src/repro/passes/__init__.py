@@ -21,6 +21,7 @@ from .manager import (  # noqa: F401
     available_passes,
     create_pass,
     pipeline_override,
+    pipelined_body,
     register_pass,
     resolve_level,
     run_function_pipeline,
@@ -38,6 +39,7 @@ __all__ = [
     "available_passes",
     "create_pass",
     "pipeline_override",
+    "pipelined_body",
     "register_pass",
     "resolve_level",
     "run_function_pipeline",

@@ -18,6 +18,11 @@ expression is retained for its effects even when the target dies.
 Anything that is not a whole-variable store (``x.f = v``, ``x[i] = v``)
 keeps ``x`` alive, and taking a variable's address pins it forever
 (writes could flow back through the pointer).
+
+Statement removal is all-or-nothing: a multi-target assignment goes only
+when *every* target is dead, and any assignment that survives keeps its
+targets' declarations alive (``x, y = a, b; return y`` retains both the
+store and ``var x``).
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ class DeadCodePass(Pass):
             usage = _Usage()
             usage.collect_block(typed.body)
             dead = usage.declared - usage.live()
+            if dead:
+                # a declaration must outlive every retained store to its
+                # symbol: a partially-dead multi-assign (one target live,
+                # one dead) is removed all-or-nothing, so its dead
+                # targets keep their declarations too
+                dead -= _kept_store_targets(typed.body, dead)
             if not dead:
                 break
             if not _rewrite_block(typed.body, dead):
@@ -159,6 +170,23 @@ class _Usage:
                 for c in child:
                     if isinstance(c, tast.TExpr):
                         self.collect_expr(c)
+
+
+def _kept_store_targets(block: tast.TBlock, dead: set[Symbol]) -> set[Symbol]:
+    """Symbols still stored into by statements this round will keep.
+
+    :func:`_rewrite_stat` only deletes an assignment when *every* target
+    is a dead variable; any surviving assignment's targets must therefore
+    stay declared, even if never read."""
+    kept: set[Symbol] = set()
+    for node in tast.walk(block):
+        if isinstance(node, tast.TAssign):
+            removed = all(isinstance(t, tast.TVar) and t.symbol in dead
+                          for t in node.lhs)
+            if not removed:
+                kept.update(t.symbol for t in node.lhs
+                            if isinstance(t, tast.TVar))
+    return kept
 
 
 def _rewrite_block(block: tast.TBlock, dead: set[Symbol]) -> bool:

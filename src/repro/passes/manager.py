@@ -4,8 +4,11 @@ Terra separates *staging* (Lua builds the program) from *execution* (LLVM
 optimizes and runs it).  Our reproduction's analog of the optimizer is
 this pipeline: an ordered list of individually-switchable passes that
 every backend consumes, run **once per function** and cached on the
-:class:`~repro.core.tast.TypedFunction` (``pipeline_level``), so the C
-emitter and the reference interpreter always see the *same* program text.
+:class:`~repro.core.tast.TypedFunction` (``pipeline_level``).  Each
+backend reads the tree at *exactly* its declared level through
+:func:`pipelined_body` — levels already passed by the in-place tree are
+served from per-level snapshots — so what a backend compiles never
+depends on which backend compiled first.
 
 Environment switches:
 
@@ -136,10 +139,13 @@ def resolve_level(level: Optional[int] = None) -> int:
     env = os.environ.get("REPRO_TERRA_PIPELINE")
     if env is not None and env != "":
         try:
-            return max(PIPELINE_NONE, min(PIPELINE_FULL, int(env)))
+            value = int(env)
         except ValueError:
+            value = None
+        if value is None or not PIPELINE_NONE <= value <= PIPELINE_FULL:
             raise CompileError(
                 f"REPRO_TERRA_PIPELINE must be 0..2, got {env!r}")
+        return value
     return PIPELINE_FULL if level is None else level
 
 
@@ -223,6 +229,33 @@ def _record_pass_time(name: str, seconds: float) -> None:
 
 # -- per-function pipeline entry points -------------------------------------------
 
+class _LevelView:
+    """A TypedFunction facade exposing an alternate ``body`` (the same
+    function at a different pipeline level), so passes and the verifier
+    can run over a snapshot without touching the in-place tree."""
+
+    def __init__(self, typed, body):
+        self._typed = typed
+        self.body = body
+
+    def __getattr__(self, name):
+        return getattr(self._typed, name)
+
+
+def _advance_locked(typed, level: int) -> None:
+    """Advance ``typed.body`` in place to ``level`` (pipeline lock held).
+
+    The body is snapshotted (cloned) at its current level first, so a
+    later request for a lower level — e.g. the C backend compiling after
+    the interpreter already ran LICM — still gets exactly the tree it
+    asked for via :func:`pipelined_body`."""
+    from ..core.tast import clone
+    if typed.pipeline_level not in typed._pipeline_bodies:
+        typed._pipeline_bodies[typed.pipeline_level] = clone(typed.body)
+    PassManager(LEVEL_PASSES[level]).run(typed)
+    typed.pipeline_level = level
+
+
 def run_pipeline(typed, level: Optional[int] = None) -> bool:
     """Run the level's pipeline over one TypedFunction, exactly once.
 
@@ -230,17 +263,47 @@ def run_pipeline(typed, level: Optional[int] = None) -> bool:
     function's pipeline lock, so concurrent compiles (two backends, two
     threads racing through the linker) can neither double-transform the
     tree nor observe it half-rewritten.  Re-entry at the same or a lower
-    level is a no-op; a higher level runs the higher pipeline (every
-    transform pass is idempotent).  Returns True if passes ran.
+    level is a no-op for the in-place tree (use :func:`pipelined_body`
+    to *read* the tree at an exact level); a higher level runs the
+    higher pipeline (every transform pass is idempotent).  Returns True
+    if passes ran.
     """
     level = resolve_level(level)
     with typed._pipeline_lock:
         if typed.pipeline_level >= level:
             return False
-        manager = PassManager(LEVEL_PASSES[level])
-        manager.run(typed)
-        typed.pipeline_level = level
+        _advance_locked(typed, level)
     return True
+
+
+def pipelined_body(typed, level: Optional[int] = None):
+    """The function body at *exactly* the resolved ``level``.
+
+    If the in-place tree is below the level, it is advanced as in
+    :func:`run_pipeline`.  If another backend already advanced it
+    further (pipeline levels are monotonic per function), the requested
+    level is rebuilt from the snapshot taken before that advance and
+    cached per level — so the C emitter sees the CANON tree whether it
+    compiles before or after the interpreter ran LICM, and equivalent
+    stagings emit byte-identical C in any compile order.
+    """
+    level = resolve_level(level)
+    with typed._pipeline_lock:
+        if typed.pipeline_level < level:
+            _advance_locked(typed, level)
+        if typed.pipeline_level == level:
+            return typed.body
+        body = typed._pipeline_bodies.get(level)
+        if body is None:
+            from ..core.tast import clone
+            base = max(lv for lv in typed._pipeline_bodies if lv <= level)
+            body = clone(typed._pipeline_bodies[base])
+            if LEVEL_PASSES[level]:
+                view = _LevelView(typed, body)
+                PassManager(LEVEL_PASSES[level]).run(view)
+                body = view.body
+            typed._pipeline_bodies[level] = body
+        return body
 
 
 def run_function_pipeline(fn, level: Optional[int] = None) -> bool:

@@ -73,9 +73,9 @@ def _binop(e: tast.TBinOp) -> tast.TExpr:
             return tast.TConst(0, ty, e.location)
     # canonicalize const-on-the-left commutative forms: c + x -> x + c,
     # so reassociation below sees one shape (and equivalent stagings
-    # emit identical C)
+    # emit identical C); a fresh node, so the caller sees the rewrite
     if e.op in ("+", "*") and is_const(lhs) and not is_const(rhs):
-        e.lhs, e.rhs = rhs, lhs
+        e = tast.TBinOp(e.op, rhs, lhs, ty, e.location)
         lhs, rhs = e.lhs, e.rhs
     # reassociate (a + c1) + c2 -> a + (c1+c2): exact for wrapping
     # integers (associativity mod 2^n), never applied to floats

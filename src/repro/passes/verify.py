@@ -36,10 +36,14 @@ _CAST_KINDS = ("numeric", "pointer", "broadcast", "vector", "ptr-int",
                "int-ptr", "aggregate")
 
 
-def verify_function(typed, where: str = "") -> None:
+def verify_function(typed, where: str = "", body=None) -> None:
     """Check one TypedFunction; raises IRVerifyError on the first
-    violation, annotated with ``where`` (e.g. "after pass 'fold'")."""
-    _Verifier(typed, where).run()
+    violation, annotated with ``where`` (e.g. "after pass 'fold'").
+
+    ``body`` checks an alternate body for the same function — the C
+    emitter passes the per-level snapshot it is about to emit, which may
+    differ from the in-place ``typed.body``."""
+    _Verifier(typed, where, body).run()
 
 
 @register_pass
@@ -54,9 +58,10 @@ class VerifyPass(Pass):
 
 
 class _Verifier:
-    def __init__(self, typed, where: str = ""):
+    def __init__(self, typed, where: str = "", body=None):
         self.typed = typed
         self.where = where
+        self.body = typed.body if body is None else body
 
     def err(self, node, msg: str) -> None:
         ctx = f" {self.where}" if self.where else ""
@@ -68,13 +73,13 @@ class _Verifier:
 
     def run(self) -> None:
         typed = self.typed
-        if not isinstance(typed.body, tast.TBlock):
-            self.err(typed.body, "function body is not a TBlock")
+        if not isinstance(self.body, tast.TBlock):
+            self.err(self.body, "function body is not a TBlock")
         params: dict[Symbol, T.Type] = {}
         for sym, ty in zip(typed.param_symbols, typed.type.parameters):
             params[sym] = ty
         self.scopes: list[dict[Symbol, T.Type]] = [params]
-        self.block(typed.body)
+        self.block(self.body)
 
     # -- scope handling ----------------------------------------------------------
 

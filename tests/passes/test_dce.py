@@ -128,6 +128,24 @@ class TestElimination:
             run_pipeline(fn.typed)
         assert decls(fn.typed.body) == []
 
+    def test_partially_dead_multi_assign_keeps_declaration(self):
+        """x, y = ... with x dead and y live is removed all-or-nothing,
+        so `var x` must survive alongside the retained store (regression:
+        the declaration was once dropped while the assignment stayed,
+        emitting C that referenced an undeclared symbol)."""
+        fn = typed_fn("""
+        terra f(a : int) : int
+          var x : int
+          var y : int
+          x, y = a + 1, a + 2
+          return y
+        end
+        """)
+        assert DeadCodePass().run(fn.typed) is False
+        assert len(decls(fn.typed.body)) == 2
+        assert fn.compile("c")(3) == 5
+        assert fn.compile("interp")(3) == 5
+
     def test_loop_counter_not_removed(self):
         fn = typed_fn("""
         terra f(n : int) : int

@@ -92,6 +92,14 @@ class TestLevels:
         with pytest.raises(CompileError, match="REPRO_TERRA_PIPELINE"):
             resolve_level(None)
 
+    @pytest.mark.parametrize("value", ["5", "-1", "3"])
+    def test_resolve_env_out_of_range(self, monkeypatch, value):
+        """Out-of-range levels raise like non-integers do, instead of
+        silently clamping a typo'd configuration."""
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", value)
+        with pytest.raises(CompileError, match="REPRO_TERRA_PIPELINE"):
+            resolve_level(None)
+
     def test_override_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_TERRA_PIPELINE", "2")
         with pipeline_override(PIPELINE_NONE):
@@ -135,6 +143,19 @@ class TestCaching:
         assert fn.typed.pipeline_level == level_after_interp == PIPELINE_FULL
         assert [id(s) for s in fn.typed.body.statements] == body_ids
 
+    def test_pipelined_body_serves_lower_levels_after_full(self):
+        """Once the in-place tree is at FULL, a lower-level request is
+        rebuilt from the pre-advance snapshot, not served the FULL tree."""
+        from repro.passes import pipelined_body
+        fn = typed_fn("terra f(x : int) : int return x + (1 + 1) end")
+        raw_count = sum(1 for _ in tast.walk(fn.typed.body))
+        assert run_pipeline(fn.typed, PIPELINE_FULL) is True
+        assert sum(1 for _ in tast.walk(fn.typed.body)) < raw_count
+        raw = pipelined_body(fn.typed, PIPELINE_NONE)
+        assert sum(1 for _ in tast.walk(raw)) == raw_count
+        # the in-place tree and its level are untouched by the read
+        assert fn.typed.pipeline_level == PIPELINE_FULL
+
 
 class TestBackendsUsePipeline:
     def test_interp_backend_has_no_private_optimizer(self):
@@ -153,6 +174,24 @@ class TestBackendsUsePipeline:
         from repro.backend.base import get_backend
         assert get_backend("interp").pipeline_level == PIPELINE_FULL
         assert get_backend("c").pipeline_level == PIPELINE_CANON
+
+    def test_emitted_c_independent_of_compile_order(self):
+        """The C backend gets the CANON tree even when the interpreter
+        (FULL, including LICM) compiled the function first: equivalent
+        stagings emit byte-identical C in any compile order, so the
+        buildd artifact cache hits deterministically."""
+        src = """
+        terra f(a : int, n : int) : int
+          var s = 0
+          for i = 0, n do s = s + a * 3 end
+          return s
+        end
+        """
+        c_first = typed_fn(src).get_c_source()
+        fn = typed_fn(src)
+        assert fn.compile("interp")(2, 4) == 24
+        assert fn.typed.pipeline_level == PIPELINE_FULL
+        assert fn.get_c_source() == c_first
 
     def test_emitted_c_reflects_pipeline(self):
         fn = typed_fn("terra f(x : int) : int return x + 2 * 3 end",

@@ -112,6 +112,15 @@ class TestReassociation:
         assert isinstance(ra.lhs, tast.TVar) and isinstance(rb.lhs, tast.TVar)
         assert ra.rhs.value == rb.rhs.value == 7
 
+    def test_swap_alone_reports_changed(self):
+        """2 + x -> x + 2 with nothing else to rewrite must still report
+        changed=True, so pass records and telemetry reflect the swap."""
+        fn = typed_fn("terra f(x : int) : int return 2 + x end")
+        assert SimplifyPass().run(fn.typed) is True
+        ret = fn.typed.body.statements[-1].expr
+        assert isinstance(ret.lhs, tast.TVar)
+        assert isinstance(ret.rhs, tast.TConst) and ret.rhs.value == 2
+
     def test_multiply_chain(self):
         fn = typed_fn("terra f(x : int) : int return (x * 2) * 8 end")
         assert SimplifyPass().run(fn.typed) is True
