@@ -3,7 +3,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir bench bench-compile report examples clean
+.PHONY: install test check verify-ir fuzz-smoke bench bench-compile report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,12 @@ test-verbose:
 
 verify-ir:  # full suite with the IR verifier re-checking after every pass
 	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m pytest tests/ -x -q
+
+fuzz-smoke:  # fixed-seed differential fuzz: both backends x levels 0/1/2
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300
+
+fuzz:  # open-ended fuzzing; pick a seed, minimize + save any findings
+	$(PYTHON) -m repro.fuzz --seed $$RANDOM --count 1000 --minimize --save findings/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -31,6 +31,17 @@ from ...errors import CompileError
 
 _unit_ids = itertools.count(1)
 
+#: runtime trap codes reported by guarded operations (see docs/LANGUAGE.md
+#: "Defined semantics"); :mod:`repro.backend.c.runtime` translates them to
+#: :class:`~repro.errors.TrapError`, mirroring the interpreter
+TRAP_DIV_ZERO = 1
+TRAP_MOD_ZERO = 2
+
+TRAP_MESSAGES = {
+    TRAP_DIV_ZERO: "integer division by zero",
+    TRAP_MOD_ZERO: "integer modulo by zero",
+}
+
 
 def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() else "_" for c in name)
@@ -60,6 +71,12 @@ class CEmitter:
         self._array_list: list[T.ArrayType] = []
         self._vector_names: dict[int, str] = {}
         self._vector_list: list[T.VectorType] = []
+        # runtime helper functions emitted once per unit, on first use
+        # (guarded div/mod, saturating float->int); name -> definition lines
+        self._helper_defs: dict[str, list[str]] = {}
+        # True once any helper can call trepro_trap(): the unit then gets
+        # the setjmp machinery and per-function *_tentry wrappers
+        self._trap_used = False
         # deterministic unit-local function names, assigned in component
         # (discovery) order rather than from the process-global uid counter:
         # identically-staged units then emit byte-identical C, so the
@@ -202,16 +219,178 @@ class CEmitter:
         out: list[str] = [
             "#include <stdint.h>",
             "#include <stddef.h>",
-            "",
         ]
+        if self._trap_used:
+            out.append("#include <setjmp.h>")
+        out.append("")
         out.extend(self._emit_typedefs())
         out.append("")
+        if self._trap_used:
+            out.extend(self._emit_trap_prelude())
+        # helper definitions, sorted by name so emission order inside
+        # bodies never changes the unit text (content-cache determinism)
+        for name in sorted(self._helper_defs):
+            out.extend(self._helper_defs[name])
+        if self._helper_defs:
+            out.append("")
         out.extend(self._emit_freestanding_globals())
         for fn in self.component:
             out.append(self._prototype(fn) + ";")
         out.append("")
         out.extend(body_lines)
+        if self._trap_used:
+            out.extend(self._emit_entry_wrappers())
         return "\n".join(out) + "\n"
+
+    # ==================================================================
+    # runtime trap machinery (guarded operations)
+    # ==================================================================
+    def _emit_trap_prelude(self) -> list[str]:
+        """Thread-local setjmp state + the trap hook.
+
+        Inside a ``*_tentry`` wrapper (armed) a trap longjmps back to the
+        wrapper, which reports the code to the caller through an out
+        parameter; outside any wrapper (freestanding code, function
+        pointers called from C) it falls back to ``__builtin_trap``."""
+        return [
+            "static __thread jmp_buf trepro_trap_jmp;",
+            "static __thread int32_t trepro_trap_code;",
+            "static __thread int32_t trepro_trap_armed;",
+            "__attribute__((noreturn)) static void trepro_trap(int32_t code) {",
+            "  trepro_trap_code = code;",
+            "  if (trepro_trap_armed) longjmp(trepro_trap_jmp, 1);",
+            "  __builtin_trap();",
+            "}",
+            "",
+        ]
+
+    def _emit_entry_wrappers(self) -> list[str]:
+        """``*_tentry`` twins for every function in the unit: same
+        signature plus a trailing ``int32_t *trapcode`` out-param.  The
+        wrapper arms the trap jump buffer around the real call; a trap
+        unwinds straight back here (so execution stops at the trapping
+        operation, like the interpreter's TrapError) and the nonzero code
+        is reported instead of a result."""
+        out: list[str] = []
+        for fn in self.component:
+            if fn.is_external:
+                continue
+            typed = fn.typed
+            ret = typed.type.returntype
+            is_void = isinstance(ret, T.TupleType) and ret.isunit()
+            args = ", ".join(self._sym(sym) for sym in typed.param_symbols)
+            params = ", ".join(
+                self._field_decl(ty, self._sym(sym))
+                for sym, ty in zip(typed.param_symbols, typed.type.parameters))
+            params = f"{params}, " if params else ""
+            rty = self.ctype(ret)
+            name = self.fn_name(fn)
+            out.append(f"{rty} {name}_tentry({params}int32_t *trapcode) {{")
+            out.append("  jmp_buf _saved_jmp;")
+            out.append("  int32_t _saved_armed = trepro_trap_armed;")
+            out.append("  __builtin_memcpy(&_saved_jmp, &trepro_trap_jmp, "
+                       "sizeof(jmp_buf));")
+            out.append("  if (setjmp(trepro_trap_jmp)) {")
+            out.append("    __builtin_memcpy(&trepro_trap_jmp, &_saved_jmp, "
+                       "sizeof(jmp_buf));")
+            out.append("    trepro_trap_armed = _saved_armed;")
+            out.append("    *trapcode = trepro_trap_code;")
+            if is_void:
+                out.append("    return;")
+            else:
+                out.append(f"    {rty} _z;")
+                out.append("    __builtin_memset(&_z, 0, sizeof(_z));")
+                out.append("    return _z;")
+            out.append("  }")
+            out.append("  trepro_trap_armed = 1;")
+            if is_void:
+                out.append(f"  {name}({args});")
+            else:
+                out.append(f"  {rty} _r = {name}({args});")
+            out.append("  __builtin_memcpy(&trepro_trap_jmp, &_saved_jmp, "
+                       "sizeof(jmp_buf));")
+            out.append("  trepro_trap_armed = _saved_armed;")
+            out.append("  *trapcode = 0;")
+            out.append("  return;" if is_void else "  return _r;")
+            out.append("}")
+            out.append("")
+        return out
+
+    def _div_helper(self, op: str, ty: T.PrimitiveType) -> str:
+        """A guarded integer division/modulo helper for ``ty``.
+
+        Semantics (docs/LANGUAGE.md "Defined semantics"): a zero divisor
+        traps (code TRAP_DIV_ZERO/TRAP_MOD_ZERO → TrapError in the host);
+        ``INT_MIN / -1`` wraps to ``INT_MIN`` and ``INT_MIN % -1`` is 0 —
+        both of which SIGFPE on bare x86 hardware."""
+        kind = "div" if op == "/" else "mod"
+        suffix = f"{'i' if ty.signed else 'u'}{ty.bytes * 8}"
+        name = f"trepro_{kind}_{suffix}"
+        if name not in self._helper_defs:
+            self._trap_used = True
+            cty = self.ctype(ty)
+            code = TRAP_DIV_ZERO if kind == "div" else TRAP_MOD_ZERO
+            lines = [f"static inline {cty} {name}({cty} a, {cty} b) {{",
+                     f"  if (b == 0) trepro_trap({code});"]
+            if ty.signed and ty.bytes >= 4:
+                # widths below int promote to int, so a/b cannot overflow
+                uty = f"uint{ty.bytes * 8}_t"
+                usfx = "U" if ty.bytes == 4 else "ULL"
+                if kind == "div":
+                    lines.append(f"  if (b == -1) return "
+                                 f"({cty})(0{usfx} - ({uty})a);")
+                else:
+                    lines.append("  if (b == -1) return 0;")
+            c_op = "/" if kind == "div" else "%"
+            lines.append(f"  return ({cty})(a {c_op} b);")
+            lines.append("}")
+            self._helper_defs[name] = lines
+        return name
+
+    def _sat_helper(self, ty: T.PrimitiveType) -> str:
+        """A saturating float→int conversion helper targeting ``ty``:
+        NaN → 0, out-of-range truncations clamp to the type's min/max
+        (LLVM ``fptosi.sat``; both backends implement exactly this).
+        float32 sources promote to double exactly, so one helper per
+        target type suffices."""
+        suffix = f"{'i' if ty.signed else 'u'}{ty.bytes * 8}"
+        name = f"trepro_f2{suffix}"
+        if name not in self._helper_defs:
+            cty = self.ctype(ty)
+            bits = ty.bytes * 8
+            if ty.signed:
+                lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+                # float(2^(bits-1)) and float(-2^(bits-1)) are exact;
+                # every x in (lo-1, lo) truncates to lo anyway, so the
+                # simple `x < lo` guard is value-preserving
+                # spell INT_MIN as (INT_MIN+1) - 1: the bare literal
+                # overflows C's long long grammar
+                low_guard = (f"  if (x < {float(lo)!r}) "
+                             f"return {self._scalar_const(lo + 1, ty)} - 1;")
+            else:
+                lo, hi = 0, (1 << bits) - 1
+                low_guard = "  if (x <= -1.0) return 0;"
+            lines = [f"static inline {cty} {name}(double x) {{",
+                     "  if (x != x) return 0;",
+                     f"  if (x >= {float(hi + 1)!r}) "
+                     f"return {self._scalar_const(hi, ty)};",
+                     low_guard,
+                     f"  return ({cty})x;",
+                     "}"]
+            self._helper_defs[name] = lines
+        return name
+
+    def _narrow(self, expr: str, ty: T.Type) -> str:
+        """Truncate a C arithmetic result back to a sub-int Terra type.
+
+        C's integer promotions compute int8/int16 arithmetic at ``int``
+        width; without this cast the un-wrapped intermediate leaks into
+        enclosing expressions (``(x + x) < y`` at int8) and diverges from
+        the interpreter's width-exact wrapping."""
+        if isinstance(ty, T.PrimitiveType) and ty.isintegral() \
+                and ty.bytes < 4:
+            return f"(({self.ctype(ty)}){expr})"
+        return expr
 
     def _emit_typedefs(self) -> list[str]:
         out: list[str] = []
@@ -587,13 +766,38 @@ class CEmitter:
     def _cast(self, e: tast.TCast) -> str:
         inner = self._ev(e.expr)
         ty = e.type
+        src = e.expr.type
         if e.kind == "broadcast":
             assert isinstance(ty, T.VectorType)
             # GCC: vector op scalar broadcasts the scalar
             return f"((({self.ctype(ty)}){{0}}) + ({inner}))"
         if e.kind == "vector":
+            assert isinstance(ty, T.VectorType)
+            if isinstance(src, T.VectorType) and src.elem.isfloat() \
+                    and ty.elem.isintegral():
+                # defined float->int: saturating, elementwise (a raw
+                # __builtin_convertvector is UB out of range)
+                helper = self._sat_helper(ty.elem)
+                sty, dty = self.ctype(src), self.ctype(ty)
+                return (f"({{ {sty} _s = ({inner}); {dty} _d; "
+                        f"for (int _i = 0; _i < {ty.count}; _i++) "
+                        f"_d[_i] = {helper}(_s[_i]); _d; }})")
+            if isinstance(src, T.VectorType) and ty.elem.islogical():
+                sty, dty = self.ctype(src), self.ctype(ty)
+                return (f"({{ {sty} _s = ({inner}); {dty} _d; "
+                        f"for (int _i = 0; _i < {ty.count}; _i++) "
+                        f"_d[_i] = _s[_i] != 0; _d; }})")
             return f"__builtin_convertvector({inner}, {self.ctype(ty)})"
-        if e.kind in ("numeric", "pointer", "ptr-int", "int-ptr"):
+        if e.kind == "numeric":
+            if isinstance(ty, T.PrimitiveType) and ty.islogical():
+                # Terra bools are always 0/1; a raw (uint8_t) cast would
+                # keep other bit patterns alive (e.g. [int32]([bool](4)))
+                return f"((uint8_t)(({inner}) != 0))"
+            if isinstance(ty, T.PrimitiveType) and ty.isintegral() \
+                    and isinstance(src, T.PrimitiveType) and src.isfloat():
+                return f"{self._sat_helper(ty)}({inner})"
+            return f"(({self.ctype(ty)})({inner}))"
+        if e.kind in ("pointer", "ptr-int", "int-ptr"):
             return f"(({self.ctype(ty)})({inner}))"
         raise CompileError(f"cannot emit cast kind {e.kind!r}")
 
@@ -610,7 +814,8 @@ class CEmitter:
         inner = self._ev(e.operand)
         ty = e.type
         if e.op == "-":
-            return f"(-({inner}))"
+            # -(INT8_MIN) etc. escapes the narrow range via C promotion
+            return self._narrow(f"(-({inner}))", ty)
         if e.op == "not":
             if ty is T.bool_:
                 return f"((uint8_t)(!({inner})))"
@@ -628,6 +833,7 @@ class CEmitter:
         lhs, rhs = self._ev(e.lhs), self._ev(e.rhs)
         op = self._C_OPS[e.op]
         lt = e.lhs.type
+        ty = e.type
         # float modulo lowers to fmod
         if e.op == "%" and (lt.isfloat() and isinstance(lt, T.PrimitiveType)):
             fn = "__builtin_fmodf" if lt is T.float32 else "__builtin_fmod"
@@ -639,6 +845,33 @@ class CEmitter:
                 return (f"__builtin_convertvector((({lhs}) {op} ({rhs})) & 1, "
                         f"{self.ctype(e.type)})")
             return f"((uint8_t)(({lhs}) {op} ({rhs})))"
+        # integer / and % go through guarded helpers: a zero divisor traps
+        # (TrapError in the host, like the interpreter) instead of a
+        # process-killing SIGFPE, and INT_MIN/-1 wraps instead of trapping
+        if e.op in ("/", "%") and isinstance(ty, T.PrimitiveType) \
+                and ty.isintegral():
+            return f"{self._div_helper(e.op, ty)}({lhs}, {rhs})"
+        if e.op in ("/", "%") and isinstance(ty, T.VectorType) \
+                and ty.elem.isintegral():
+            helper = self._div_helper(e.op, ty.elem)
+            cty = self.ctype(ty)
+            return (f"({{ {cty} _a = ({lhs}); {cty} _b = ({rhs}); "
+                    f"for (int _i = 0; _i < {ty.count}; _i++) "
+                    f"_a[_i] = {helper}(_a[_i], _b[_i]); _a; }})")
+        if e.op in ("<<", ">>"):
+            # defined shift semantics: the count is masked by width-1
+            # (LLVM/x86 behaviour); C leaves count >= width undefined
+            if isinstance(ty, T.PrimitiveType) and ty.isintegral():
+                mask = ty.bytes * 8 - 1
+                return self._narrow(
+                    f"(({lhs}) {op} (({rhs}) & {mask}))", ty)
+            if isinstance(ty, T.VectorType) and ty.elem.isintegral():
+                mask = ty.elem.sizeof() * 8 - 1
+                return f"(({lhs}) {op} (({rhs}) & {mask}))"
+        if e.op in ("+", "-", "*"):
+            # sub-int results wrap at their Terra width, not at C's
+            # promoted int width
+            return self._narrow(f"(({lhs}) {op} ({rhs}))", ty)
         return f"(({lhs}) {op} ({rhs}))"
 
     def _intrinsic(self, e: tast.TIntrinsic) -> str:

@@ -22,12 +22,12 @@ from ...buildd import get_service
 from ...buildd import toolchain as _toolchain
 from ...buildd.service import DEFAULT_CFLAGS  # noqa: F401  (re-export)
 from ...core import types as T
-from ...errors import CompileError, FFIError
+from ...errors import CompileError, FFIError, TrapError
 from ...ffi import convert
 from ...memory import layout
 from ..base import Backend, CompileTicket
 from . import abi
-from .emit import CEmitter
+from .emit import CEmitter, TRAP_MESSAGES
 
 
 def cache_dir() -> str:
@@ -78,11 +78,19 @@ def compile_shared(source: str, extra_flags: tuple[str, ...] = ()) -> str:
 
 
 class CompiledFunction:
-    """A Python-callable handle to one compiled Terra function."""
+    """A Python-callable handle to one compiled Terra function.
 
-    def __init__(self, func, cfn, ftype: T.FunctionType):
+    When the unit contains guarded (trappable) operations, ``centry`` is
+    the function's ``*_tentry`` twin: same signature plus a trailing
+    ``int32_t *`` trap-code out-param.  Calls then go through the guarded
+    entry, and a nonzero trap code is raised as :class:`TrapError` —
+    runtime traps behave exactly like the interpreter's instead of
+    SIGFPE/SIGILL-killing the host process."""
+
+    def __init__(self, func, cfn, ftype: T.FunctionType, centry=None):
         self.func = func
         self.cfn = cfn
+        self.centry = centry
         self.type = ftype
 
     def __call__(self, *args):
@@ -95,8 +103,16 @@ class CompiledFunction:
         cargs = []
         for value, ty in zip(args, ftype.parameters):
             cargs.append(self._to_c(value, ty, keep))
-        result = self.cfn(*cargs)
-        del keep
+        if self.centry is not None and not ftype.varargs:
+            trapcode = ctypes.c_int32(0)
+            result = self.centry(*cargs, ctypes.byref(trapcode))
+            del keep
+            if trapcode.value:
+                raise TrapError(TRAP_MESSAGES.get(
+                    trapcode.value, f"runtime trap {trapcode.value}"))
+        else:
+            result = self.cfn(*cargs)
+            del keep
         return self._from_c(result, ftype.returntype)
 
     @staticmethod
@@ -191,8 +207,16 @@ class CBackend(Backend):
             ftype = f.typed.type
             cfn.restype = abi.ctype_for(ftype.returntype)
             cfn.argtypes = [abi.ctype_for(p) for p in ftype.parameters]
+            try:
+                centry = getattr(lib, cname + "_tentry")
+            except AttributeError:
+                centry = None  # unit has no trappable operations
+            if centry is not None:
+                centry.restype = cfn.restype
+                centry.argtypes = list(cfn.argtypes) + \
+                    [ctypes.POINTER(ctypes.c_int32)]
             handle = f._compiled.setdefault(
-                self.name, CompiledFunction(f, cfn, ftype))
+                self.name, CompiledFunction(f, cfn, ftype, centry))
             if f is fn:
                 entry_handle = handle
         if entry_handle is None:

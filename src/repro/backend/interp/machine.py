@@ -400,9 +400,9 @@ class Machine:
         ty = e.type
         if e.op == "-":
             if isinstance(ty, T.VectorType):
-                return [V.scalar_binop("-", 0, v, ty.elem) for v in value]
+                return [V.scalar_neg(v, ty.elem) for v in value]
             assert isinstance(ty, T.PrimitiveType)
-            return V.scalar_binop("-", 0, value, ty)
+            return V.scalar_neg(value, ty)
         if e.op == "not":
             if ty is T.bool_:
                 return not value

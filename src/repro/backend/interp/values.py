@@ -74,11 +74,22 @@ def scalar_binop(op: str, a, b, ty: T.PrimitiveType):
             r = a * b
         elif op == "/":
             if b == 0:
-                r = math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+                # IEEE: x/±0 is ±inf with the signs multiplied (so 1/-0.0
+                # is -inf), and 0/0 or nan/0 is nan — Python would raise
+                if a == 0 or math.isnan(a):
+                    r = math.nan
+                else:
+                    r = math.copysign(
+                        math.inf, math.copysign(1.0, a) * math.copysign(1.0, b))
             else:
                 r = a / b
         elif op == "%":
-            r = math.fmod(a, b) if b != 0 else math.nan
+            # C fmod: nan for a zero divisor or an infinite dividend
+            # (math.fmod raises ValueError for the latter)
+            try:
+                r = math.fmod(a, b) if b != 0 else math.nan
+            except ValueError:
+                r = math.nan
         else:
             raise TrapError(f"unknown float op {op!r}")
         return round_float(r, ty)
@@ -90,6 +101,15 @@ def scalar_binop(op: str, a, b, ty: T.PrimitiveType):
         if op == "^":
             return bool(a) != bool(b)
     raise TrapError(f"unsupported op {op!r} on {ty}")
+
+
+def scalar_neg(value, ty: T.PrimitiveType):
+    """Unary negation with C semantics: integers wrap at their width,
+    floats flip the sign bit (so ``-0.0`` stays negative zero — computing
+    ``0 - x`` instead would lose it)."""
+    if ty.isfloat():
+        return round_float(-value, ty)
+    return scalar_binop("-", 0, value, ty)
 
 
 def scalar_compare(op: str, a, b) -> bool:
@@ -108,6 +128,32 @@ def scalar_compare(op: str, a, b) -> bool:
     raise TrapError(f"unknown comparison {op!r}")
 
 
+def int_range(ty: T.PrimitiveType) -> tuple[int, int]:
+    """The inclusive [min, max] range of an integral primitive type."""
+    bits = ty.bytes * 8
+    if ty.signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+def saturate_float_to_int(value: float, target: T.PrimitiveType) -> int:
+    """The defined float→int conversion: truncate toward zero, then
+    *saturate* to the target's range; NaN converts to 0.
+
+    C leaves out-of-range conversions undefined (gcc constant-folds,
+    cvttsd2si, and the interpreter used to disagree three ways); we define
+    them as LLVM's ``fptosi.sat``/``fptoui.sat`` — also Rust ``as`` and
+    WebAssembly ``trunc_sat`` — and both backends implement exactly this.
+    See docs/LANGUAGE.md "Defined semantics"."""
+    lo, hi = int_range(target)
+    if math.isnan(value):
+        return 0
+    if math.isinf(value):
+        return hi if value > 0 else lo
+    truncated = int(value)  # Python int() truncates toward zero
+    return min(max(truncated, lo), hi)
+
+
 def scalar_cast(value, source: T.Type, target: T.PrimitiveType):
     """C-semantics conversion of a scalar value to primitive ``target``."""
     if target.islogical():
@@ -116,9 +162,7 @@ def scalar_cast(value, source: T.Type, target: T.PrimitiveType):
         if isinstance(value, bool):
             return int(value)
         if isinstance(value, float):
-            if math.isnan(value) or math.isinf(value):
-                return 0  # UB in C; pick a deterministic result
-            return wrap_int(int(value), target)  # trunc toward zero
+            return saturate_float_to_int(value, target)
         return wrap_int(int(value), target)
     # float target
     if isinstance(value, bool):

@@ -43,6 +43,12 @@ class BuildStats:
         # per-IR-pass totals (name -> {"runs", "seconds"}), fed by the
         # repro.passes manager so one report covers IR time and gcc time
         self.pass_runs: dict = {}
+        # differential-fuzzing totals, fed by repro.fuzz.runner so one
+        # snapshot covers compiles *and* what the fuzzer did with them
+        self.fuzz_programs = 0      # programs executed differentially
+        self.fuzz_divergences = 0   # programs where backends disagreed
+        self.fuzz_traps = 0         # programs that trapped (on all configs)
+        self.fuzz_crashes = 0       # child-process crashes (signals)
 
     # -- event hooks (called by the service) --------------------------------
     def record_hit(self) -> None:
@@ -84,6 +90,16 @@ class BuildStats:
             entry["runs"] += 1
             entry["seconds"] += seconds
 
+    def record_fuzz(self, programs: int, divergences: int,
+                    traps: int = 0, crashes: int = 0) -> None:
+        """One differential-fuzzing run finished (called by
+        :func:`repro.fuzz.runner.run_differential`)."""
+        with self._lock:
+            self.fuzz_programs += programs
+            self.fuzz_divergences += divergences
+            self.fuzz_traps += traps
+            self.fuzz_crashes += crashes
+
     def record_already_built(self) -> None:
         """A scheduled build found the artifact already published (by
         another process) — not a compile, not a failure."""
@@ -114,6 +130,12 @@ class BuildStats:
                 "max_queue_depth": self.max_queue_depth,
                 "hit_rate": (self.cache_hits / total) if total else None,
                 "recent_builds": list(self.recent),
+                "fuzz": {
+                    "programs": self.fuzz_programs,
+                    "divergences": self.fuzz_divergences,
+                    "traps": self.fuzz_traps,
+                    "crashes": self.fuzz_crashes,
+                },
                 "passes": {
                     name: {"runs": entry["runs"],
                            "seconds": round(entry["seconds"], 4)}

@@ -1,0 +1,161 @@
+"""The crash-isolated fuzzing child: runs generated programs on ONE
+backend at ONE pipeline level, streaming machine-readable results.
+
+The parent (:mod:`repro.fuzz.runner`) spawns one child per
+(backend, pipeline-level) configuration.  A child never receives program
+text in generate mode — it regenerates each program deterministically
+from ``(seed, index)`` — so the only protocol is newline-delimited JSON
+on stdout:
+
+    {"event": "begin", "index": 17}
+    {"event": "done",  "index": 17, "outcomes": [...]}
+
+``begin`` is flushed *before* the program is compiled or run; if the
+child then dies (SIGFPE from a miscompiled trap, SIGSEGV, ...), the
+parent attributes the crash to the in-flight index and respawns the
+child with ``--start`` past it.  This is the property the whole
+subsystem is built around: no generated program — including ones that
+trap — can take the harness down.
+
+``--one`` mode instead reads a single ``{"source", "entry", "argsets"}``
+JSON object on stdin and prints one result line; the minimizer and the
+corpus replayer use it to run arbitrary (not generator-derived)
+programs under the same isolation.
+
+The pipeline level is pinned with ``REPRO_TERRA_PIPELINE`` *before*
+:mod:`repro` is imported, so every unit the child compiles — whatever
+backend defaults say — runs at exactly the requested level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def encode_result(value) -> list:
+    """A canonical, JSON-able encoding of one primitive call result.
+
+    Floats encode as ``float.hex()`` so comparison is *bitwise* — the
+    differential contract is bit-equality, not approximate equality —
+    with all NaN payloads canonicalized to ``"nan"`` (the backends may
+    legitimately produce different payload bits)."""
+    if value is None:
+        return ["unit"]
+    if isinstance(value, bool):
+        return ["bool", int(value)]
+    if isinstance(value, int):
+        return ["int", value]
+    if isinstance(value, float):
+        if value != value:
+            return ["float", "nan"]
+        return ["float", value.hex()]
+    if isinstance(value, tuple):
+        return ["tuple", [encode_result(v) for v in value]]
+    return ["repr", repr(value)]
+
+
+def encode_args(args) -> list:
+    """Encode an argument tuple for transport in strict JSON (floats go
+    as hex so ``inf``/``nan``/``-0.0`` survive the round trip)."""
+    out = []
+    for a in args:
+        if isinstance(a, bool):
+            out.append(["b", int(a)])
+        elif isinstance(a, int):
+            out.append(["i", a])
+        elif isinstance(a, float):
+            out.append(["f", "nan" if a != a else a.hex()])
+        else:
+            raise TypeError(f"cannot encode fuzz argument {a!r}")
+    return out
+
+
+def decode_args(encoded) -> tuple:
+    out = []
+    for kind, v in encoded:
+        if kind == "b":
+            out.append(bool(v))
+        elif kind == "i":
+            out.append(int(v))
+        elif kind == "f":
+            out.append(float("nan") if v == "nan" else float.fromhex(v))
+        else:
+            raise ValueError(f"unknown fuzz argument kind {kind!r}")
+    return tuple(out)
+
+
+def _run_program(source: str, entry: str, argsets, backend_name: str):
+    """Compile ``entry`` on the selected backend and run every argset.
+
+    Returns the program outcome: ``{"outcomes": [...]}`` with one entry
+    per argset, or ``{"fatal": [type, message]}`` when the program fails
+    to specialize/typecheck/compile at all."""
+    from repro import get_backend, terra
+    from repro.errors import TrapError
+    from repro.fuzz.gen import fuzz_env
+
+    try:
+        ns = terra(source, env=fuzz_env())
+        # terra() returns the function itself for single-definition
+        # sources and a Namespace for multi-definition ones
+        try:
+            fn = ns[entry]
+        except TypeError:
+            fn = ns
+        handle = fn.compile(get_backend(backend_name))
+    except Exception as exc:  # compile-time failure: a finding in itself
+        return {"fatal": [type(exc).__name__, str(exc)]}
+    outcomes = []
+    for args in argsets:
+        try:
+            outcomes.append({"ok": encode_result(handle(*args))})
+        except TrapError as exc:
+            outcomes.append({"trap": str(exc)})
+        except Exception as exc:
+            outcomes.append({"error": [type(exc).__name__, str(exc)]})
+    return {"outcomes": outcomes}
+
+
+def _emit(obj) -> None:
+    sys.stdout.write(json.dumps(obj) + "\n")
+    sys.stdout.flush()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.fuzz.child")
+    parser.add_argument("--backend", required=True, choices=["interp", "c"])
+    parser.add_argument("--level", required=True, type=int, choices=[0, 1, 2])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--count", type=int, default=0)
+    parser.add_argument("--start", type=int, default=0)
+    parser.add_argument("--one", action="store_true",
+                        help="run one JSON-encoded program from stdin")
+    opts = parser.parse_args(argv)
+
+    # pin the pipeline level before repro is imported anywhere
+    os.environ["REPRO_TERRA_PIPELINE"] = str(opts.level)
+
+    if opts.one:
+        spec = json.loads(sys.stdin.read())
+        argsets = [decode_args(a) for a in spec["argsets"]]
+        _emit(_run_program(spec["source"], spec["entry"], argsets,
+                           opts.backend))
+        return 0
+
+    from repro.fuzz.gen import generate_program
+    for index in range(opts.start, opts.count):
+        _emit({"event": "begin", "index": index})
+        program = generate_program(opts.seed, index)
+        result = _run_program(program.source, program.entry,
+                              program.argsets, opts.backend)
+        result["event"] = "done"
+        result["index"] = index
+        _emit(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""The reproducer corpus: every divergence the fuzzer ever found, saved
+as a JSON file and replayed as a regression test.
+
+Corpus entries live in ``tests/fuzz/corpus/*.json`` (one finding per
+file) and record the *minimized* program, the argument sets that showed
+the divergence (floats stored as ``float.hex()`` so ``inf``/``nan``/
+``-0.0`` survive serialization), and a human-readable note of what used
+to go wrong.  ``tests/fuzz/test_corpus.py`` replays each entry across
+the full backend × pipeline-level matrix on every tier-1 run, so a fixed
+divergence stays fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from .child import decode_args, encode_args
+from .gen import FuzzProgram
+
+
+def save_entry(directory: str, name: str, program: FuzzProgram,
+               note: str = "") -> str:
+    """Write one corpus entry; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_-]+", "-", name).strip("-") or "finding"
+    path = os.path.join(directory, slug + ".json")
+    entry = {
+        "name": slug,
+        "note": note,
+        "seed": program.seed,
+        "index": program.index,
+        "entry": program.entry,
+        "source": program.source,
+        "argsets": [encode_args(a) for a in program.argsets],
+    }
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_entry(path: str) -> FuzzProgram:
+    with open(path) as fh:
+        entry = json.load(fh)
+    return FuzzProgram(
+        seed=int(entry.get("seed", 0)), index=int(entry.get("index", 0)),
+        source=entry["source"], entry=entry["entry"],
+        argtypes=list(entry.get("argtypes", [])),
+        argsets=[decode_args(a) for a in entry["argsets"]])
+
+
+def load_corpus(directory: str) -> list:
+    """All corpus entries in ``directory`` as (name, FuzzProgram) pairs,
+    sorted by file name for deterministic replay order."""
+    out = []
+    if not os.path.isdir(directory):
+        return out
+    for fname in sorted(os.listdir(directory)):
+        if fname.endswith(".json"):
+            out.append((fname[:-len(".json")],
+                        load_entry(os.path.join(directory, fname))))
+    return out
+
+
+def replay_entry(program: FuzzProgram, configs=None,
+                 timeout: float = None) -> list:
+    """Run one corpus program across the configuration matrix; returns
+    the executions (callers assert they all agree)."""
+    from .runner import DEFAULT_TIMEOUT, run_program
+    return run_program(program, configs=configs,
+                       timeout=timeout or DEFAULT_TIMEOUT)

@@ -1,0 +1,415 @@
+"""Seeded, typed random-program generation over the implemented Terra
+subset.
+
+Every program is generated from ``random.Random(f"{seed}:{index}")``, so
+any (seed, index) pair names exactly one program forever — the parent
+process, the crash-isolated children, and a later reproduction run all
+regenerate the same source without shipping it around.
+
+Design constraints that keep generated programs *boring to execute* but
+*interesting to compile*:
+
+* **Typed construction.**  Expressions are built top-down against a
+  required type, so every program typechecks by construction; the fuzzer
+  exercises semantics, not the typechecker's error paths.
+* **Guaranteed termination.**  Every function threads a ``fuel`` counter:
+  ``while``/``repeat`` loops conjoin ``fuel > 0`` into their conditions
+  and decrement it each iteration, and numeric ``for`` loops use small
+  constant bounds.  A generated program can trap (``% 0`` is a defined
+  runtime trap, see docs/LANGUAGE.md) but can never spin.
+* **Pinned constant types.**  Bare literals type as ``int32``/``double``;
+  constants of any other primitive type are written ``[ty](lit)`` so both
+  backends see identical types at every pipeline level.
+* **No undefined behaviour.**  The language defines the usual C trouble
+  spots (wrapping arithmetic, masked shifts, saturating float→int casts,
+  trapping division) — the generator uses all of them freely and the
+  differential runner checks the backends agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..core import types as T
+
+#: primitive types the generator draws from (name in Terra source -> type)
+SCALAR_TYPES = {
+    "int8": T.int8, "int16": T.int16, "int32": T.int32, "int64": T.int64,
+    "uint8": T.uint8, "uint16": T.uint16, "uint32": T.uint32,
+    "uint64": T.uint64,
+    "float": T.float32, "double": T.float64,
+    "bool": T.bool_,
+}
+
+INT_NAMES = ["int8", "int16", "int32", "int64",
+             "uint8", "uint16", "uint32", "uint64"]
+FLOAT_NAMES = ["float", "double"]
+ARITH_NAMES = INT_NAMES + FLOAT_NAMES
+
+#: iterations a single function may spend across all its while/repeat loops
+LOOP_FUEL = 48
+
+
+def fuzz_env() -> dict:
+    """The explicit specialization environment for generated programs.
+
+    ``terra()`` normally captures the *caller's* Python frame; generated
+    programs must not see whatever locals the harness happens to have, so
+    they are specialized against exactly this mapping (the primitive type
+    names resolve through the builtin scope either way — the point is to
+    pin the environment, not to extend it)."""
+    return dict(SCALAR_TYPES)
+
+
+@dataclass
+class FuzzProgram:
+    """One generated differential-test case."""
+    seed: int
+    index: int
+    source: str
+    entry: str                       # name of the function to call
+    argtypes: list = field(default_factory=list)   # Terra type names
+    argsets: list = field(default_factory=list)    # list of tuples
+
+    def key(self) -> str:
+        return f"{self.seed}:{self.index}"
+
+
+# ---------------------------------------------------------------------------
+# typed expression generation
+
+
+def _int_literal(rng: random.Random, tyname: str) -> str:
+    ty = SCALAR_TYPES[tyname]
+    bits = ty.bytes * 8
+    lo, hi = ((-(1 << (bits - 1)), (1 << (bits - 1)) - 1) if ty.signed
+              else (0, (1 << bits) - 1))
+    choice = rng.random()
+    if choice < 0.45:
+        v = rng.randint(-8, 8) if ty.signed else rng.randint(0, 8)
+    elif choice < 0.75:
+        v = rng.randint(lo, hi)
+    else:
+        v = rng.choice([lo, hi, lo + 1, hi - 1, 0, 1])
+    # int64 literals near the boundary don't fit the int32 literal grammar
+    # before the cast is applied; the cast re-wraps them, which is exactly
+    # the wrap-around semantics under test
+    if tyname == "int32":
+        return f"({v})" if v < 0 else str(v)
+    return f"[{tyname}]({v})" if v >= 0 else f"[{tyname}](({v}))"
+
+
+def _float_literal(rng: random.Random, tyname: str) -> str:
+    choice = rng.random()
+    if choice < 0.4:
+        v = round(rng.uniform(-16.0, 16.0), 3)
+    elif choice < 0.7:
+        v = rng.choice([0.0, 1.0, -1.0, 0.5, -0.5, 2.0])
+    elif choice < 0.9:
+        v = round(rng.uniform(-1e6, 1e6), 1)
+    else:
+        # magnitudes that overflow float32 and stress float->int saturation
+        v = rng.choice([1e10, -1e10, 3e9, -3e9, 1e300, -1e300, 1e39, -1e39])
+    lit = repr(float(v))
+    if tyname == "double":
+        return f"({lit})" if v < 0 else lit
+    return f"[float](({lit}))" if v < 0 else f"[float]({lit})"
+
+
+def _literal(rng: random.Random, tyname: str) -> str:
+    if tyname == "bool":
+        return rng.choice(["true", "false"])
+    if tyname in FLOAT_NAMES:
+        return _float_literal(rng, tyname)
+    return _int_literal(rng, tyname)
+
+
+class _FnGen:
+    """Generates one function body; tracks in-scope variables per type."""
+
+    def __init__(self, rng: random.Random, name: str,
+                 params: list, rettype: str, callables: list):
+        self.rng = rng
+        self.name = name
+        self.params = params            # list of (name, tyname)
+        self.rettype = rettype
+        self.callables = callables      # earlier functions: (name, params, ret)
+        self.scopes: list[dict] = []    # each: tyname -> [varnames]
+        self.counter = 0
+        self.depth = 0                  # statement nesting depth
+        self.in_loop = 0
+
+    # -- scope bookkeeping --------------------------------------------------
+    def push(self):
+        self.scopes.append({})
+
+    def pop(self):
+        self.scopes.pop()
+
+    def declare(self, tyname: str) -> str:
+        self.counter += 1
+        name = f"v{self.counter}"
+        self.scopes[-1].setdefault(tyname, []).append(name)
+        return name
+
+    def vars_of(self, tyname: str) -> list:
+        out = [n for s in self.scopes for n in s.get(tyname, [])]
+        out.extend(n for n, t in self.params if t == tyname)
+        return out
+
+    # -- expressions --------------------------------------------------------
+    def expr(self, tyname: str, depth: int = 0) -> str:
+        rng = self.rng
+        leaf = depth >= 3 or rng.random() < 0.18 + 0.16 * depth
+        if leaf:
+            names = self.vars_of(tyname)
+            if names and rng.random() < 0.7:
+                return rng.choice(names)
+            return _literal(rng, tyname)
+        if tyname == "bool":
+            return self._bool_expr(depth)
+        r = rng.random()
+        if r < 0.52:
+            return self._arith_expr(tyname, depth)
+        if r < 0.68 and tyname in INT_NAMES:
+            return self._bit_expr(tyname, depth)
+        if r < 0.80:
+            return self._cast_expr(tyname, depth)
+        if r < 0.88:
+            return f"(-({self.expr(tyname, depth + 1)}))"
+        call = self._call_expr(tyname, depth)
+        if call is not None:
+            return call
+        return self._arith_expr(tyname, depth)
+
+    def _arith_expr(self, tyname: str, depth: int) -> str:
+        op = self.rng.choice(["+", "-", "*", "/", "%", "+", "-", "*"])
+        a = self.expr(tyname, depth + 1)
+        b = self.expr(tyname, depth + 1)
+        return f"({a} {op} {b})"
+
+    def _bit_expr(self, tyname: str, depth: int) -> str:
+        op = self.rng.choice(["and", "or", "^", "<<", ">>"])
+        a = self.expr(tyname, depth + 1)
+        if op in ("<<", ">>"):
+            # shift counts out of [0, width) are defined (masked); feed
+            # them deliberately
+            b = self.expr(tyname, depth + 2) if self.rng.random() < 0.5 \
+                else _int_literal(self.rng, tyname)
+        else:
+            b = self.expr(tyname, depth + 1)
+        return f"({a} {op} {b})"
+
+    def _cast_expr(self, tyname: str, depth: int) -> str:
+        src = self.rng.choice(ARITH_NAMES + ["bool"])
+        return f"([{tyname}]({self.expr(src, depth + 1)}))"
+
+    def _bool_expr(self, depth: int) -> str:
+        rng = self.rng
+        r = rng.random()
+        if r < 0.6:
+            ty = rng.choice(ARITH_NAMES)
+            op = rng.choice(["<", "<=", ">", ">=", "==", "~="])
+            return f"({self.expr(ty, depth + 1)} {op} {self.expr(ty, depth + 1)})"
+        if r < 0.85:
+            op = rng.choice(["and", "or"])
+            return f"({self._bool_expr(depth + 1)} {op} {self._bool_expr(depth + 1)})"
+        if r < 0.95:
+            return f"(not {self._bool_expr(depth + 1)})"
+        return f"([bool]({self.expr(rng.choice(ARITH_NAMES), depth + 1)}))"
+
+    def _call_expr(self, tyname: str, depth: int):
+        candidates = [c for c in self.callables if c[2] == tyname]
+        if not candidates or self.in_loop:
+            # calls inside loop bodies multiply the trap surface without
+            # adding coverage; keep them at loop depth 0
+            return None
+        name, params, _ = self.rng.choice(candidates)
+        args = ", ".join(self.expr(t, depth + 1) for _, t in params)
+        return f"{name}({args})"
+
+    # -- statements ---------------------------------------------------------
+    def block(self, indent: str, budget: int) -> list:
+        lines = []
+        self.push()
+        n = self.rng.randint(1, max(1, budget))
+        for _ in range(n):
+            lines.extend(self.stmt(indent, budget - 1))
+        self.pop()
+        return lines
+
+    def stmt(self, indent: str, budget: int) -> list:
+        rng = self.rng
+        r = rng.random()
+        nested_ok = budget > 0 and self.depth < 2
+        if r < 0.40 or not nested_ok:
+            return [self._var_stmt(indent)]
+        if r < 0.58:
+            ty = rng.choice(ARITH_NAMES + ["bool"])
+            writable = [n for n in self.vars_of(ty) if n.startswith("v")]
+            if not writable:
+                return [self._var_stmt(indent)]
+            return [f"{indent}{rng.choice(writable)} = {self.expr(ty)}"]
+        self.depth += 1
+        try:
+            if r < 0.72:
+                return self._if_stmt(indent, budget)
+            if r < 0.82:
+                return self._while_stmt(indent, budget)
+            if r < 0.90:
+                return self._repeat_stmt(indent, budget)
+            if r < 0.96:
+                return self._for_stmt(indent, budget)
+            lines = [f"{indent}do"]
+            lines += self.block(indent + "    ", budget)
+            lines.append(f"{indent}end")
+            return lines
+        finally:
+            self.depth -= 1
+
+    def _var_stmt(self, indent: str) -> str:
+        ty = self.rng.choice(ARITH_NAMES + ["bool"])
+        # build the initializer BEFORE declaring the name: a var is not in
+        # scope inside its own initializer
+        init = self.expr(ty)
+        name = self.declare(ty)
+        return f"{indent}var {name} : {ty} = {init}"
+
+    def _if_stmt(self, indent: str, budget: int) -> list:
+        lines = [f"{indent}if {self._bool_expr(1)} then"]
+        lines += self.block(indent + "    ", budget)
+        if self.rng.random() < 0.4:
+            lines.append(f"{indent}else")
+            lines += self.block(indent + "    ", budget)
+        lines.append(f"{indent}end")
+        return lines
+
+    def _while_stmt(self, indent: str, budget: int) -> list:
+        self.in_loop += 1
+        lines = [f"{indent}while ({self._bool_expr(1)}) and (fuel > 0) do",
+                 f"{indent}    fuel = fuel - 1"]
+        lines += self.block(indent + "    ", budget)
+        lines.append(f"{indent}end")
+        self.in_loop -= 1
+        return lines
+
+    def _repeat_stmt(self, indent: str, budget: int) -> list:
+        self.in_loop += 1
+        lines = [f"{indent}repeat",
+                 f"{indent}    fuel = fuel - 1"]
+        lines += self.block(indent + "    ", budget)
+        lines.append(f"{indent}until ({self._bool_expr(1)}) or (fuel <= 0)")
+        self.in_loop -= 1
+        return lines
+
+    def _for_stmt(self, indent: str, budget: int) -> list:
+        self.in_loop += 1
+        self.counter += 1
+        iv = f"i{self.counter}"
+        lo = self.rng.randint(-2, 2)
+        hi = lo + self.rng.randint(0, 4)
+        step = f", {self.rng.choice([1, 2])}" if self.rng.random() < 0.3 else ""
+        start = f"({lo})" if lo < 0 else str(lo)
+        lines = [f"{indent}for {iv} = {start}, {hi}{step} do"]
+        self.push()
+        self.scopes[-1].setdefault("int32", []).append(iv)
+        lines += [ln for ln in self.block(indent + "    ", budget)]
+        self.pop()
+        lines.append(f"{indent}end")
+        self.in_loop -= 1
+        return lines
+
+    # -- whole function -----------------------------------------------------
+    def emit(self) -> str:
+        plist = ", ".join(f"{n} : {t}" for n, t in self.params)
+        lines = [f"terra {self.name}({plist}) : {self.rettype}"]
+        self.push()
+        lines.append(f"    var fuel : int32 = {LOOP_FUEL}")
+        budget = self.rng.randint(2, 5)
+        for _ in range(budget):
+            lines.extend(self.stmt("    ", 2))
+        lines.append(f"    return {self.expr(self.rettype)}")
+        lines.append("end")
+        self.pop()
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# arguments
+
+
+def _int_args(rng: random.Random, tyname: str) -> int:
+    ty = SCALAR_TYPES[tyname]
+    bits = ty.bytes * 8
+    lo, hi = ((-(1 << (bits - 1)), (1 << (bits - 1)) - 1) if ty.signed
+              else (0, (1 << bits) - 1))
+    r = rng.random()
+    if r < 0.4:
+        return rng.randint(-4, 4) if ty.signed else rng.randint(0, 4)
+    if r < 0.7:
+        return rng.randint(lo, hi)
+    return rng.choice([lo, hi, lo + 1, hi - 1, 0, 1])
+
+
+def _float_args(rng: random.Random) -> float:
+    r = rng.random()
+    if r < 0.4:
+        return round(rng.uniform(-32.0, 32.0), 4)
+    if r < 0.6:
+        return rng.choice([0.0, -0.0, 1.0, -1.0, 0.5])
+    if r < 0.8:
+        return rng.uniform(-1e18, 1e18)
+    return rng.choice([math.inf, -math.inf, math.nan,
+                       1e300, -1e300, 1e39, -1e39, 5e-324])
+
+
+def generate_argsets(rng: random.Random, argtypes: list,
+                     count: int = 4) -> list:
+    """``count`` boundary-biased argument tuples for ``argtypes``."""
+    sets = []
+    for _ in range(count):
+        args = []
+        for tyname in argtypes:
+            if tyname == "bool":
+                args.append(rng.random() < 0.5)
+            elif tyname in FLOAT_NAMES:
+                args.append(_float_args(rng))
+            else:
+                args.append(_int_args(rng, tyname))
+        sets.append(tuple(args))
+    return sets
+
+
+# ---------------------------------------------------------------------------
+# whole programs
+
+
+def generate_program(seed: int, index: int) -> FuzzProgram:
+    """The deterministic program named by ``(seed, index)``.
+
+    A program is 1–3 functions; later functions may call earlier ones
+    (never recursively), and the *last* function is the differential entry
+    point.  The same (seed, index) always yields the same program and the
+    same argument sets."""
+    rng = random.Random(f"{seed}:{index}")
+    nfuncs = rng.choices([1, 2, 3], weights=[6, 3, 1])[0]
+    callables: list = []
+    chunks = []
+    for i in range(nfuncs):
+        name = f"fz{index}_{i}"
+        nparams = rng.randint(1, 4)
+        params = [(f"a{j}", rng.choice(ARITH_NAMES))
+                  for j in range(nparams)]
+        rettype = rng.choice(ARITH_NAMES)
+        fn = _FnGen(rng, name, params, rettype, list(callables))
+        chunks.append(fn.emit())
+        callables.append((name, params, rettype))
+    entry_name, entry_params, _ = callables[-1]
+    argtypes = [t for _, t in entry_params]
+    argsets = generate_argsets(rng, argtypes)
+    return FuzzProgram(seed=seed, index=index,
+                       source="\n".join(chunks),
+                       entry=entry_name, argtypes=argtypes,
+                       argsets=argsets)

@@ -1,0 +1,84 @@
+"""Delta-debugging minimizer for diverging programs.
+
+Classic ddmin over the program's source *lines*, followed by argument-set
+reduction: remove ever-smaller chunks of lines as long as the
+caller-supplied predicate (``still diverges?``) holds.  Candidates that
+no longer parse or typecheck simply fail the predicate — in the
+differential setting every configuration reports the same compile error,
+which is agreement, not divergence — so the minimizer needs no grammar
+knowledge at all.
+
+The predicate runs each candidate in crash-isolated children (see
+:func:`repro.fuzz.runner.run_program`), so minimization is safe even
+when the divergence under study is a child-killing crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .gen import FuzzProgram
+
+
+def _candidate(program: FuzzProgram, lines, argsets) -> FuzzProgram:
+    return replace(program, source="\n".join(lines), argsets=list(argsets))
+
+
+def _ddmin_lines(program: FuzzProgram, lines: list, predicate) -> list:
+    """Greedy ddmin: repeatedly try dropping chunks, halving granularity."""
+    n = 2
+    while len(lines) >= 2:
+        chunk = max(1, len(lines) // n)
+        shrunk = False
+        i = 0
+        while i < len(lines):
+            candidate_lines = lines[:i] + lines[i + chunk:]
+            if candidate_lines and predicate(
+                    _candidate(program, candidate_lines, program.argsets)):
+                lines = candidate_lines
+                shrunk = True
+                # retry the same position: the next chunk shifted into it
+            else:
+                i += chunk
+        if shrunk:
+            n = max(2, n - 1)
+        elif chunk == 1:
+            break
+        else:
+            n = min(len(lines), n * 2)
+    return lines
+
+
+def _reduce_argsets(program: FuzzProgram, predicate) -> FuzzProgram:
+    """Keep the first single argset that still shows the divergence."""
+    if len(program.argsets) <= 1:
+        return program
+    for argset in program.argsets:
+        candidate = replace(program, argsets=[argset])
+        if predicate(candidate):
+            return candidate
+    return program
+
+
+def minimize(program: FuzzProgram, predicate,
+             max_tests: int = 500) -> FuzzProgram:
+    """Shrink ``program`` while ``predicate(candidate)`` stays true.
+
+    ``predicate`` must be deterministic and must already hold for
+    ``program`` itself (if it does not, the program is returned
+    unchanged).  At most ``max_tests`` predicate evaluations are spent —
+    each one may compile the candidate on every configuration, so this
+    bounds minimization wall-time."""
+    budget = {"left": max_tests}
+
+    def counted(candidate: FuzzProgram) -> bool:
+        if budget["left"] <= 0:
+            return False
+        budget["left"] -= 1
+        return bool(predicate(candidate))
+
+    if not counted(program):
+        return program
+    program = _reduce_argsets(program, counted)
+    lines = _ddmin_lines(program, program.source.splitlines(), counted)
+    return replace(program, source="\n".join(lines))

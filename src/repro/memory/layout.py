@@ -13,6 +13,7 @@ raw ``bytes`` blobs so that aggregate copy semantics match C.
 
 from __future__ import annotations
 
+import math as _math
 import struct as _struct
 
 from ..core import types as T
@@ -36,9 +37,16 @@ def wrap_int(value: int, ty: T.PrimitiveType) -> int:
 
 
 def round_float(value: float, ty: T.PrimitiveType) -> float:
-    """Round a Python float to the precision of the Terra float type."""
+    """Round a Python float to the precision of the Terra float type.
+
+    Values whose magnitude exceeds the float32 range overflow to ±inf,
+    exactly as a hardware double→float conversion does; CPython's
+    ``struct.pack`` would raise ``OverflowError`` instead."""
     if ty is T.float32:
-        return _struct.unpack("<f", _struct.pack("<f", value))[0]
+        try:
+            return _struct.unpack("<f", _struct.pack("<f", value))[0]
+        except OverflowError:
+            return _math.inf if value > 0 else -_math.inf
     return float(value)
 
 
@@ -49,7 +57,7 @@ def pack_primitive(value, ty: T.PrimitiveType) -> bytes:
         return _struct.pack(_INT_FORMATS[(ty.bytes, ty.signed)],
                             wrap_int(int(value), ty))
     fmt = "<f" if ty is T.float32 else "<d"
-    return _struct.pack(fmt, float(value))
+    return _struct.pack(fmt, round_float(float(value), ty))
 
 
 def unpack_primitive(data: bytes, ty: T.PrimitiveType):

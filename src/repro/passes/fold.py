@@ -96,7 +96,7 @@ def _fold_unop(e: tast.TUnOp) -> tast.TExpr:
         return e
     ty = operand.type
     if e.op == "-" and ty.isarithmetic():
-        return tast.TConst(V.scalar_binop("-", 0, operand.value, ty),
+        return tast.TConst(V.scalar_neg(operand.value, ty),
                            e.type, e.location)
     if e.op == "not":
         if ty.islogical():

@@ -1,0 +1,89 @@
+"""Generator invariants: determinism, validity, and argument hygiene."""
+
+import random
+
+from repro import terra
+from repro.errors import TrapError
+from repro.fuzz import generate_argsets, generate_program
+from repro.fuzz.gen import SCALAR_TYPES, fuzz_env
+
+
+class TestDeterminism:
+    def test_same_seed_index_same_program(self):
+        a = generate_program(42, 7)
+        b = generate_program(42, 7)
+        assert a.source == b.source
+        assert a.entry == b.entry
+        assert a.argsets == b.argsets
+
+    def test_different_index_different_program(self):
+        a = generate_program(42, 7)
+        b = generate_program(42, 8)
+        assert a.source != b.source
+
+    def test_different_seed_different_program(self):
+        a = generate_program(1, 0)
+        b = generate_program(2, 0)
+        assert a.source != b.source
+
+    def test_independent_of_global_random_state(self):
+        random.seed(123)
+        a = generate_program(9, 3)
+        random.seed(456)
+        b = generate_program(9, 3)
+        assert a.source == b.source
+
+
+class TestValidity:
+    def test_programs_compile_and_run_on_interp(self):
+        """Every generated program typechecks by construction and every
+        run terminates (fuel-bounded loops) — trapping is allowed."""
+        for i in range(8):
+            p = generate_program(7, i)
+            ns = terra(p.source, env=fuzz_env())
+            try:
+                fn = ns[p.entry]
+            except TypeError:
+                fn = ns
+            handle = fn.compile("interp")
+            for args in p.argsets:
+                try:
+                    handle(*args)
+                except TrapError:
+                    pass    # defined runtime traps are fine
+
+    def test_entry_is_last_function(self):
+        p = generate_program(0, 4)
+        assert p.entry in p.source
+        assert p.source.rindex("terra ") == p.source.index(f"terra {p.entry}")
+
+    def test_argtypes_match_argsets(self):
+        for i in range(5):
+            p = generate_program(3, i)
+            for args in p.argsets:
+                assert len(args) == len(p.argtypes)
+                for a, tyname in zip(args, p.argtypes):
+                    ty = SCALAR_TYPES[tyname]
+                    if ty.islogical():
+                        assert isinstance(a, bool)
+                    elif ty.isintegral():
+                        assert isinstance(a, int) and not isinstance(a, bool)
+                    else:
+                        assert isinstance(a, float)
+
+
+class TestArgsets:
+    def test_int_args_in_range(self):
+        rng = random.Random(0)
+        for tyname, ty in SCALAR_TYPES.items():
+            if not ty.isintegral():
+                continue
+            bits = ty.bytes * 8
+            lo = -(1 << (bits - 1)) if ty.signed else 0
+            hi = (1 << (bits - 1)) - 1 if ty.signed else (1 << bits) - 1
+            for (v,) in generate_argsets(rng, [tyname], count=40):
+                assert lo <= v <= hi, (tyname, v)
+
+    def test_requested_count(self):
+        rng = random.Random(1)
+        assert len(generate_argsets(rng, ["int32", "double"], count=6)) == 6

@@ -1,0 +1,55 @@
+"""Minimizer tests with a fake (in-process) predicate — ddmin logic only;
+the subprocess predicate path is covered by test_runner/test_corpus."""
+
+from repro.fuzz import FuzzProgram, minimize
+
+
+def program_with(lines, argsets=None):
+    return FuzzProgram(seed=0, index=0, source="\n".join(lines),
+                       entry="f", argtypes=["int32"],
+                       argsets=argsets or [(1,)])
+
+
+class TestDdmin:
+    def test_removes_irrelevant_lines(self):
+        lines = [f"line {i}" for i in range(20)] + ["THE BUG"]
+
+        def predicate(p):
+            return "THE BUG" in p.source
+
+        out = minimize(program_with(lines), predicate)
+        assert out.source == "THE BUG"
+
+    def test_keeps_dependent_pair(self):
+        lines = ["setup", "noise a", "noise b", "trigger", "noise c"]
+
+        def predicate(p):
+            return "setup" in p.source and "trigger" in p.source
+
+        out = minimize(program_with(lines), predicate)
+        assert out.source.splitlines() == ["setup", "trigger"]
+
+    def test_nondiverging_program_unchanged(self):
+        p = program_with(["a", "b"])
+        out = minimize(p, lambda _: False)
+        assert out.source == p.source
+
+    def test_argset_reduction(self):
+        p = program_with(["THE BUG"], argsets=[(1,), (2,), (3,)])
+
+        def predicate(cand):
+            return "THE BUG" in cand.source and (2,) in cand.argsets
+
+        out = minimize(p, predicate)
+        assert out.argsets == [(2,)]
+
+    def test_budget_bounds_predicate_calls(self):
+        calls = {"n": 0}
+
+        def predicate(p):
+            calls["n"] += 1
+            return "keep" in p.source
+
+        lines = [f"l{i}" for i in range(100)] + ["keep"]
+        minimize(program_with(lines), predicate, max_tests=30)
+        assert calls["n"] <= 30
