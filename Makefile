@@ -3,7 +3,9 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke bench bench-compile report examples clean
+.PHONY: install test check verify-ir fuzz-smoke trace-demo bench bench-compile report examples clean
+
+TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +29,13 @@ fuzz-smoke:  # fixed-seed differential fuzz: both backends x levels 0/1/2
 
 fuzz:  # open-ended fuzzing; pick a seed, minimize + save any findings
 	$(PYTHON) -m repro.fuzz --seed $$RANDOM --count 1000 --minimize --save findings/
+
+trace-demo:  # record a full-lifecycle trace of quickstart.py, validate, summarize
+	REPRO_TERRA_TRACE=1 REPRO_TERRA_TRACE_OUT=$(TRACE_DEMO_OUT) \
+		$(PYTHON) examples/quickstart.py
+	$(PYTHON) -m repro.trace validate $(TRACE_DEMO_OUT)
+	$(PYTHON) -m repro.trace view $(TRACE_DEMO_OUT)
+	@echo "trace written to $(TRACE_DEMO_OUT) — open in ui.perfetto.dev"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -43,6 +43,9 @@ from typing import Optional
 
 from .errors import (CompileError, FFIError, LinkError, SpecializeError,
                      TerraError, TerraSyntaxError, TrapError, TypeCheckError)
+# imported early so REPRO_TERRA_TRACE / REPRO_TERRA_PROFILE take effect
+# for any process that imports repro (see docs/OBSERVABILITY.md)
+from . import trace as trace
 from .core import ast as _ast
 from .core import types as _types
 from .core import parser as _parser
@@ -137,19 +140,22 @@ def terra(source: str, env=None, filename: str = "<terra>"):
     the paper's ``ter``/``tdecl`` split that enables mutual recursion.
     """
     environment = _environment(env)
-    defs = _parser.parse_toplevel(source, filename)
-    if not defs:
-        raise TerraSyntaxError("no Terra definitions in source")
-    results: dict[str, object] = {}
-    overlay: dict[str, object] = {}
-    single: object = None
-    for d in defs:
-        scoped_env = environment.child_with(overlay)
-        if isinstance(d, _ast.StructDef):
-            single = _define_struct(d, scoped_env, results, overlay)
-        else:
-            assert isinstance(d, _ast.FunctionDef)
-            single = _define_function(d, scoped_env, results, overlay)
+    with trace.span("terra", cat="stage", filename=filename) as tsp:
+        with trace.span("parse", cat="stage", filename=filename):
+            defs = _parser.parse_toplevel(source, filename)
+        if not defs:
+            raise TerraSyntaxError("no Terra definitions in source")
+        results: dict[str, object] = {}
+        overlay: dict[str, object] = {}
+        single: object = None
+        for d in defs:
+            scoped_env = environment.child_with(overlay)
+            if isinstance(d, _ast.StructDef):
+                single = _define_struct(d, scoped_env, results, overlay)
+            else:
+                assert isinstance(d, _ast.FunctionDef)
+                single = _define_function(d, scoped_env, results, overlay)
+        tsp.set(definitions=len(results))
     if len(results) == 1:
         return single
     return Namespace(results)
@@ -161,8 +167,9 @@ def _define_struct(d: _ast.StructDef, env: Environment,
     # bind the name before evaluating entry types: self-referential
     # structs (struct Node { next : &Node }) must see themselves.
     overlay[d.name] = st
-    spec = Specializer(env.child_with({d.name: st}))
-    _fill_struct_entries(st, d.entries, spec)
+    with trace.span(f"specialize:{d.name}", cat="stage", kind="struct"):
+        spec = Specializer(env.child_with({d.name: st}))
+        _fill_struct_entries(st, d.entries, spec)
     results[d.name] = st
     return st
 
@@ -190,8 +197,9 @@ def _define_function(d: _ast.FunctionDef, env: Environment,
         fn = TerraFunction(f"{receiver.name}_{d.method_name}", d.location)
         receiver.methods[d.method_name] = fn
         spec = Specializer(env)
-        params, ptypes, rettype, body = spec.spec_function(
-            d, self_type=_types.pointer(receiver))
+        with trace.span(f"specialize:{fn.name}", cat="stage", kind="method"):
+            params, ptypes, rettype, body = spec.spec_function(
+                d, self_type=_types.pointer(receiver))
         fn.define(params, ptypes, rettype, body)
         results[f"{receiver.name}_{d.method_name}"] = fn
         return fn
@@ -213,7 +221,8 @@ def _define_function(d: _ast.FunctionDef, env: Environment,
     # (self-recursion), and to later definitions in this terra() call.
     body_env = env.child_with({name: fn}) if d.namepath else env
     spec = Specializer(body_env)
-    params, ptypes, rettype, body = spec.spec_function(d)
+    with trace.span(f"specialize:{name}", cat="stage", kind="function"):
+        params, ptypes, rettype, body = spec.spec_function(d)
     fn.define(params, ptypes, rettype, body)
     if d.namepath and len(d.namepath) > 1:
         sp = Specializer(env)

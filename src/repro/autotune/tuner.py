@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .. import double
+from .. import trace
 from ..core import types as T
 from .matmul import make_gemm, make_gemm_packed
 
@@ -123,26 +124,36 @@ def tune(test_size: int = 512, elem: T.Type = double,
     # is already building on the pool while the next one is staged (the
     # paper's "JIT-compiles the code" step, made concurrent)
     staged: list[tuple[Candidate, object]] = []
-    for cand in feasible:
-        gemm = maker(cand.NB, cand.RM, cand.RN, cand.V, elem,
-                     cand.use_prefetch, async_compile=parallel_compile)
-        staged.append((cand, gemm))
-    for cand, gemm in staged:
-        if verify:
-            n = cand.NB * 2
-            A = rng.rand(n, n).astype(dtype)
-            B = rng.rand(n, n).astype(dtype)
-            C = np.zeros((n, n), dtype=dtype)
-            gemm(C, A, B, n)
-            tol = 1e-8 if elem is double else 1e-2
-            if not np.allclose(C, A @ B, atol=tol * n):
-                raise AssertionError(f"misgenerated kernel for {cand}")
-        gflops = time_gemm(gemm, test_size, elem, repeats)
-        trials.append((cand, gflops))
-        if verbose:
-            print(f"  {cand}: {gflops:.2f} GFLOPS")
-        if gflops > best_gflops:
-            best, best_gflops, best_gemm = cand, gflops, gemm
+    with trace.span("tune", cat="tune", candidates=len(feasible),
+                    test_size=test_size) as tune_sp:
+        for cand in feasible:
+            with trace.span("tune.stage", cat="tune", candidate=str(cand)):
+                gemm = maker(cand.NB, cand.RM, cand.RN, cand.V, elem,
+                             cand.use_prefetch,
+                             async_compile=parallel_compile)
+            staged.append((cand, gemm))
+        for cand, gemm in staged:
+            with trace.span("tune.measure", cat="tune",
+                            candidate=str(cand)) as sp:
+                if verify:
+                    n = cand.NB * 2
+                    A = rng.rand(n, n).astype(dtype)
+                    B = rng.rand(n, n).astype(dtype)
+                    C = np.zeros((n, n), dtype=dtype)
+                    gemm(C, A, B, n)
+                    tol = 1e-8 if elem is double else 1e-2
+                    if not np.allclose(C, A @ B, atol=tol * n):
+                        raise AssertionError(
+                            f"misgenerated kernel for {cand}")
+                gflops = time_gemm(gemm, test_size, elem, repeats)
+                sp.set(gflops=round(gflops, 3))
+            trials.append((cand, gflops))
+            if verbose:
+                print(f"  {cand}: {gflops:.2f} GFLOPS")
+            if gflops > best_gflops:
+                best, best_gflops, best_gemm = cand, gflops, gemm
+        if best is not None:
+            tune_sp.set(best=str(best), gflops=round(best_gflops, 3))
     if best is None:
         raise ValueError("no feasible candidate for this test size")
     return TuneResult(best, best_gflops, best_gemm, trials)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import ctypes
 
+from ... import trace as _trace
 from ...buildd import get_service
 from ...buildd import toolchain as _toolchain
 from ...buildd.service import DEFAULT_CFLAGS  # noqa: F401  (re-export)
@@ -94,6 +95,13 @@ class CompiledFunction:
         self.type = ftype
 
     def __call__(self, *args):
+        # one module-attribute check when observability is off; spans and
+        # profile samples only on the slow path (see repro.trace)
+        if _trace._runtime_active:
+            return _trace.timed_call(self.func, lambda: self._invoke(args))
+        return self._invoke(args)
+
+    def _invoke(self, args):
         ftype = self.type
         nparams = len(ftype.parameters)
         if len(args) != nparams and not ftype.varargs:
@@ -173,8 +181,11 @@ class CBackend(Backend):
 
     # -- compilation -------------------------------------------------------------
     def compile_unit(self, fn, component):
-        emitter = CEmitter(component, self)
-        source = emitter.emit_unit()
+        with _trace.span(f"emit:{fn.name}", cat="emit", backend="c",
+                         component_size=len(component)) as sp:
+            emitter = CEmitter(component, self)
+            source = emitter.emit_unit()
+            sp.set(c_bytes=len(source))
         so_path = compile_shared(source, tuple(_EXTRA_CFLAGS))
         return self._bind_unit(fn, component, emitter, so_path)
 
@@ -186,8 +197,11 @@ class CBackend(Backend):
         Source emission and flag capture happen synchronously (in the
         caller's thread, so :func:`extra_cflags` blocks behave), only the
         compiler run overlaps."""
-        emitter = CEmitter(component, self)
-        source = emitter.emit_unit()
+        with _trace.span(f"emit:{fn.name}", cat="emit", backend="c",
+                         component_size=len(component), mode="async") as sp:
+            emitter = CEmitter(component, self)
+            source = emitter.emit_unit()
+            sp.set(c_bytes=len(source))
         future = get_service().compile_async(source, tuple(_EXTRA_CFLAGS))
         return CompileTicket(
             future, lambda so: self._bind_unit(fn, component, emitter, so))
@@ -196,6 +210,12 @@ class CBackend(Backend):
         """ctypes-load a compiled unit and cache handles for every function
         in it; returns the entry function's handle.  Safe to call twice for
         the same unit (handles install with setdefault)."""
+        with _trace.span(f"bind:{fn.name}", cat="bind",
+                         so=so_path.rsplit("/", 1)[-1],
+                         component_size=len(component)):
+            return self._bind_unit_traced(fn, component, emitter, so_path)
+
+    def _bind_unit_traced(self, fn, component, emitter, so_path):
         lib = ctypes.CDLL(so_path)
         self._libs.append(lib)
         entry_handle = None

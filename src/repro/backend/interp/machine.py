@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 
+from ... import trace as _trace
 from ...core import tast
 from ...core import types as T
 from ...core.function import PyCallback, TerraFunction
@@ -496,6 +497,12 @@ class InterpFunction:
         self.type = func.typed.type if func.typed else func.gettype()
 
     def __call__(self, *args):
+        # same observability hook as the C backend's CompiledFunction
+        if _trace._runtime_active:
+            return _trace.timed_call(self.func, lambda: self._invoke(args))
+        return self._invoke(args)
+
+    def _invoke(self, args):
         ftype = self.type
         if len(args) != len(ftype.parameters):
             raise FFIError(
@@ -619,8 +626,10 @@ class InterpBackend(Backend):
         self._global_slots: dict[int, int] = {}
 
     def compile_unit(self, fn, component):
-        handle = InterpFunction(fn, self.machine)
-        fn._compiled.setdefault(self.name, handle)
+        with _trace.span(f"emit:{fn.name}", cat="emit", backend="interp",
+                         component_size=len(component)):
+            handle = InterpFunction(fn, self.machine)
+            fn._compiled.setdefault(self.name, handle)
         return handle
 
     # -- globals ----------------------------------------------------------------

@@ -32,6 +32,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Iterable, Optional
 
 from ..errors import CompileError
+from .. import trace
 from . import toolchain as _toolchain
 from .cache import ArtifactCache
 from .stats import BuildStats
@@ -107,26 +108,37 @@ class CompileService:
             cached = self.cache.lookup(key)
             if cached is not None:
                 self.stats.record_hit()
+                trace.instant("buildd.cache_hit", cat="buildd",
+                              key=key[:12])
                 done: Future = Future()
                 done.set_result(cached)
                 return done
             fut = self._inflight.get(key)
             if fut is not None:
                 self.stats.record_dedup()
+                trace.instant("buildd.dedup", cat="buildd", key=key[:12])
                 return fut
             self.stats.record_submit()
+            trace.instant("buildd.submit", cat="buildd", key=key[:12])
             fut = self._pool.submit(self._build, key, source, flags)
             self._inflight[key] = fut
             return fut
 
     # -- the worker ---------------------------------------------------------
     def _build(self, key: str, source: str, flags: tuple[str, ...]) -> str:
+        with trace.span("buildd.compile", cat="buildd",
+                        key=key[:12], source_bytes=len(source)) as sp:
+            return self._build_traced(sp, key, source, flags)
+
+    def _build_traced(self, sp, key: str, source: str,
+                      flags: tuple[str, ...]) -> str:
         t0 = time.perf_counter()
         try:
             # another process may have published this key since lookup
             existing = self.cache.lookup(key)
             if existing is not None:
                 self.stats.record_already_built()
+                sp.set(already_built=True)
                 return existing
             tc = self.toolchain()
             c_path = self.cache.source_path(key)
@@ -149,6 +161,7 @@ class CompileService:
             final = self.cache.publish(key, tmp, source=source, flags=flags,
                                        compile_s=dt)
             self.stats.record_compile(key, dt, size)
+            sp.set(artifact_bytes=size)
             return final
         except BaseException:
             self.stats.record_failure(key, time.perf_counter() - t0)
@@ -166,6 +179,11 @@ class CompileService:
         cache root.  Used by ``saveobj`` for .o/.so outputs."""
 
         def job() -> str:
+            with trace.span("buildd.compile_to", cat="buildd",
+                            out=os.path.basename(out_path)):
+                return run_build()
+
+        def run_build() -> str:
             t0 = time.perf_counter()
             tc = self.toolchain()
             tmp = out_path + f".{os.getpid()}.{threading.get_ident()}.tmp"

@@ -1,4 +1,4 @@
-"""Compile telemetry for the buildd service.
+"""Compile telemetry for the buildd service — a view over repro.trace.metrics.
 
 Every native-code production in the process flows through one
 :class:`BuildStats` instance (owned by the :class:`~repro.buildd.service.
@@ -11,112 +11,170 @@ ask *after the fact* where its compile time went:
   mark),
 * bytes cached (reported by the artifact cache at snapshot time).
 
-All counters are guarded by one lock; increments are cheap relative to a
-gcc run, so contention is irrelevant.
+Since the ``repro.trace`` subsystem, the numbers themselves live in
+metrics registries (:mod:`repro.trace.metrics`) and this class is the
+**view** that keeps the historical public API:
+
+* per-service counters (submitted / hits / misses / compiles / queue)
+  live in a registry private to this instance, so independently-built
+  services (tests, a reconfigured singleton) stay isolated;
+* cross-cutting series — per-IR-pass timings (``pass.*``, fed by the
+  :mod:`repro.passes` manager) and differential-fuzzing totals
+  (``fuzz.*``, fed by :mod:`repro.fuzz.runner`) — live in the
+  **process-wide** registry, because they are properties of the process,
+  not of one compile service.  ``snapshot()`` merges both, so one report
+  still covers IR time, gcc time, and what the fuzzer did with them.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
 from typing import Optional
+
+from ..trace.metrics import MetricsRegistry, registry as _global_registry
 
 #: how many per-unit build records the ring buffer keeps
 RECENT_BUILDS = 64
 
+_P = "buildd."  # per-service counter prefix inside the private registry
+
 
 class BuildStats:
-    """Thread-safe counters for one compile service."""
+    """Thread-safe counters for one compile service (a metrics view)."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0          # compile requests (any outcome)
-        self.cache_hits = 0         # served from the artifact cache
-        self.cache_misses = 0       # needed a real compiler run
-        self.inflight_dedup = 0     # joined an identical in-flight build
-        self.compiles = 0           # compiler runs that succeeded
-        self.failures = 0           # compiler runs that failed
-        self.compile_seconds = 0.0  # total wall time inside the compiler
-        self.queue_depth = 0        # builds submitted but not finished
-        self.max_queue_depth = 0
-        self.recent: deque = deque(maxlen=RECENT_BUILDS)
-        # per-IR-pass totals (name -> {"runs", "seconds"}), fed by the
-        # repro.passes manager so one report covers IR time and gcc time
-        self.pass_runs: dict = {}
-        # differential-fuzzing totals, fed by repro.fuzz.runner so one
-        # snapshot covers compiles *and* what the fuzzer did with them
-        self.fuzz_programs = 0      # programs executed differentially
-        self.fuzz_divergences = 0   # programs where backends disagreed
-        self.fuzz_traps = 0         # programs that trapped (on all configs)
-        self.fuzz_crashes = 0       # child-process crashes (signals)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: per-service counters; private by default
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- per-service counters, as attributes (historical API) ----------------
+    @property
+    def submitted(self) -> int:
+        return int(self.registry.get(_P + "submitted"))
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.registry.get(_P + "cache_hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.registry.get(_P + "cache_misses"))
+
+    @property
+    def inflight_dedup(self) -> int:
+        return int(self.registry.get(_P + "inflight_dedup"))
+
+    @property
+    def compiles(self) -> int:
+        return int(self.registry.get(_P + "compiles"))
+
+    @property
+    def failures(self) -> int:
+        return int(self.registry.get(_P + "failures"))
+
+    @property
+    def compile_seconds(self) -> float:
+        return float(self.registry.get(_P + "compile_seconds"))
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self.registry.get(_P + "queue_depth"))
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self.registry.get(_P + "max_queue_depth"))
+
+    @property
+    def recent(self) -> list:
+        return self.registry.ring(_P + "recent")
+
+    # -- cross-cutting series (process-wide registry) ------------------------
+    @property
+    def pass_runs(self) -> dict:
+        return {name[len("pass."):]: entry
+                for name, entry in _global_registry().timings("pass.").items()}
+
+    @property
+    def fuzz_programs(self) -> int:
+        return int(_global_registry().get("fuzz.programs"))
+
+    @property
+    def fuzz_divergences(self) -> int:
+        return int(_global_registry().get("fuzz.divergences"))
+
+    @property
+    def fuzz_traps(self) -> int:
+        return int(_global_registry().get("fuzz.traps"))
+
+    @property
+    def fuzz_crashes(self) -> int:
+        return int(_global_registry().get("fuzz.crashes"))
 
     # -- event hooks (called by the service) --------------------------------
     def record_hit(self) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.cache_hits += 1
+        with self.registry.locked():
+            self.registry.add(_P + "submitted")
+            self.registry.add(_P + "cache_hits")
 
     def record_dedup(self) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.inflight_dedup += 1
+        with self.registry.locked():
+            self.registry.add(_P + "submitted")
+            self.registry.add(_P + "inflight_dedup")
 
     def record_submit(self) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.cache_misses += 1
-            self.queue_depth += 1
-            self.max_queue_depth = max(self.max_queue_depth, self.queue_depth)
+        with self.registry.locked():
+            self.registry.add(_P + "submitted")
+            self.registry.add(_P + "cache_misses")
+            depth = self.registry.add(_P + "queue_depth")
+            self.registry.track_max(_P + "max_queue_depth", depth)
 
     def record_compile(self, key: str, seconds: float, size: int) -> None:
-        with self._lock:
-            self.compiles += 1
-            self.compile_seconds += seconds
-            self.queue_depth -= 1
-            self.recent.append(
-                {"key": key, "seconds": round(seconds, 4), "bytes": size})
+        with self.registry.locked():
+            self.registry.add(_P + "compiles")
+            self.registry.add(_P + "compile_seconds", seconds)
+            self.registry.add(_P + "queue_depth", -1)
+            self.registry.append(
+                _P + "recent",
+                {"key": key, "seconds": round(seconds, 4), "bytes": size},
+                maxlen=RECENT_BUILDS)
 
     def record_failure(self, key: str, seconds: float) -> None:
-        with self._lock:
-            self.failures += 1
-            self.compile_seconds += seconds
-            self.queue_depth -= 1
+        with self.registry.locked():
+            self.registry.add(_P + "failures")
+            self.registry.add(_P + "compile_seconds", seconds)
+            self.registry.add(_P + "queue_depth", -1)
 
     def record_pass(self, name: str, seconds: float) -> None:
-        """One IR pass ran for ``seconds`` (called by the pass manager)."""
-        with self._lock:
-            entry = self.pass_runs.setdefault(
-                name, {"runs": 0, "seconds": 0.0})
-            entry["runs"] += 1
-            entry["seconds"] += seconds
+        """One IR pass ran for ``seconds`` (called by the pass manager;
+        recorded process-wide)."""
+        _global_registry().record_time(f"pass.{name}", seconds)
 
     def record_fuzz(self, programs: int, divergences: int,
                     traps: int = 0, crashes: int = 0) -> None:
         """One differential-fuzzing run finished (called by
-        :func:`repro.fuzz.runner.run_differential`)."""
-        with self._lock:
-            self.fuzz_programs += programs
-            self.fuzz_divergences += divergences
-            self.fuzz_traps += traps
-            self.fuzz_crashes += crashes
+        :func:`repro.fuzz.runner.run_differential`; recorded
+        process-wide)."""
+        reg = _global_registry()
+        with reg.locked():
+            reg.add("fuzz.programs", programs)
+            reg.add("fuzz.divergences", divergences)
+            reg.add("fuzz.traps", traps)
+            reg.add("fuzz.crashes", crashes)
 
     def record_already_built(self) -> None:
         """A scheduled build found the artifact already published (by
         another process) — not a compile, not a failure."""
-        with self._lock:
-            self.queue_depth -= 1
+        self.registry.add(_P + "queue_depth", -1)
 
     # -- reporting ----------------------------------------------------------
     def hit_rate(self) -> Optional[float]:
         """Cache hit rate over all requests, or None before any request."""
-        with self._lock:
+        with self.registry.locked():
             total = self.cache_hits + self.cache_misses + self.inflight_dedup
             if total == 0:
                 return None
             return self.cache_hits / total
 
     def snapshot(self) -> dict:
-        with self._lock:
+        with self.registry.locked():
             total = self.cache_hits + self.cache_misses + self.inflight_dedup
             return {
                 "submitted": self.submitted,
@@ -129,7 +187,7 @@ class BuildStats:
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
                 "hit_rate": (self.cache_hits / total) if total else None,
-                "recent_builds": list(self.recent),
+                "recent_builds": self.recent,
                 "fuzz": {
                     "programs": self.fuzz_programs,
                     "divergences": self.fuzz_divergences,

@@ -219,6 +219,27 @@ class TerraFunction:
         body = pipelined_body(self.typed, level)
         return format_typed_ir(self.typed, body=body)
 
+    def report(self, print_: bool = True):
+        """Runtime profile of this function's compiled handle(s): call
+        count, total wall seconds, min/mean/max per call.  Populated when
+        :mod:`repro.trace.profile` is on (``REPRO_TERRA_PROFILE=1``);
+        returns None (and says so) if the function was never profiled."""
+        from ..trace import profile
+        stats = profile.stats_for(self)
+        if print_:
+            if stats is None:
+                print(f"{self.name}: no profiled calls "
+                      f"(set REPRO_TERRA_PROFILE=1 or call "
+                      f"repro.trace.profile.enable())")
+            else:
+                print(f"{self.name}: {stats['calls']} calls, "
+                      f"{stats['seconds']:.6f}s total, "
+                      f"min/mean/max "
+                      f"{stats['min'] * 1e6:.2f}/"
+                      f"{stats['mean'] * 1e6:.2f}/"
+                      f"{stats['max'] * 1e6:.2f} us")
+        return stats
+
     def __repr__(self) -> str:
         ty = self._type if self._type is not None else "<untypechecked>"
         return f"terra {self.name}: {ty} [{self.state}]"

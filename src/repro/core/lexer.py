@@ -167,6 +167,8 @@ class Lexer:
             self.pos += 2
             while self.pos < n and src[self.pos] in "0123456789abcdefABCDEF":
                 self.pos += 1
+            if self.pos == start + 2:
+                raise self._error("malformed hex literal (no digits after 0x)")
             value: int | float = int(src[start:self.pos], 16)
         else:
             while self.pos < n and _isdigit(src[self.pos]):

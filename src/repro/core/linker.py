@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 
 from ..errors import LinkError, TypeCheckError
+from .. import trace
 from .function import TerraFunction
 
 #: functions currently being typechecked (cycle detection).  Thread-local:
@@ -51,7 +52,8 @@ def typecheck_function(fn: TerraFunction) -> None:
     from .typechecker import TypeChecker
     in_progress.add(fn.uid)
     try:
-        typed = TypeChecker(fn).run()
+        with trace.span(f"typecheck:{fn.name}", cat="typecheck"):
+            typed = TypeChecker(fn).run()
     finally:
         in_progress.discard(fn.uid)
     if fn.typed is None:  # a racing thread may have typechecked it already
@@ -65,20 +67,22 @@ def connected_component(fn: TerraFunction) -> list[TerraFunction]:
     the component to be fully typechecked."""
     seen: dict[int, TerraFunction] = {}
     order: list[TerraFunction] = []
-    stack = [fn]
-    while stack:
-        f = stack.pop()
-        if f.uid in seen:
-            continue
-        seen[f.uid] = f
-        order.append(f)
-        if f.is_external:
-            continue
-        typecheck_function(f)
-        assert f.typed is not None
-        for ref in f.typed.referenced_functions:
-            if ref.uid not in seen:
-                stack.append(ref)
+    with trace.span(f"component:{fn.name}", cat="typecheck") as sp:
+        stack = [fn]
+        while stack:
+            f = stack.pop()
+            if f.uid in seen:
+                continue
+            seen[f.uid] = f
+            order.append(f)
+            if f.is_external:
+                continue
+            typecheck_function(f)
+            assert f.typed is not None
+            for ref in f.typed.referenced_functions:
+                if ref.uid not in seen:
+                    stack.append(ref)
+        sp.set(component_size=len(order))
     return order
 
 
@@ -99,10 +103,13 @@ def pipelined_component(fn: TerraFunction, backend) -> list[TerraFunction]:
     level reached).
     """
     from ..passes import run_function_pipeline
-    component = connected_component(fn)
     level = getattr(backend, "pipeline_level", None)
-    for member in component:
-        run_function_pipeline(member, level)
+    with trace.span(f"link:{fn.name}", cat="typecheck",
+                    backend=backend.name, level=level) as sp:
+        component = connected_component(fn)
+        for member in component:
+            run_function_pipeline(member, level)
+        sp.set(component_size=len(component))
     return component
 
 

@@ -28,6 +28,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .. import trace
 from .child import encode_args
 from .gen import FuzzProgram, generate_program
 
@@ -213,35 +214,39 @@ def run_differential(seed: int, count: int, configs=None,
     crashes, and hangs all become report entries."""
     configs = list(configs or DEFAULT_CONFIGS)
     t0 = time.perf_counter()
-    per_config: dict = {cfg: {} for cfg in configs}
-    lock = threading.Lock()
-    threads = []
-    for backend, level in configs:
-        th = threading.Thread(
-            target=_collect,
-            args=(backend, level, seed, count, timeout,
-                  per_config[(backend, level)], lock),
-            daemon=True)
-        th.start()
-        threads.append(th)
-    for th in threads:
-        th.join()
+    with trace.span("fuzz", cat="fuzz", seed=seed, count=count,
+                    configs=len(configs)) as fsp:
+        per_config: dict = {cfg: {} for cfg in configs}
+        lock = threading.Lock()
+        threads = []
+        for backend, level in configs:
+            th = threading.Thread(
+                target=_collect,
+                args=(backend, level, seed, count, timeout,
+                      per_config[(backend, level)], lock),
+                daemon=True)
+            th.start()
+            threads.append(th)
+        for th in threads:
+            th.join()
 
-    report = FuzzReport(seed=seed, count=count, configs=configs)
-    for index in range(count):
-        execs = [Execution(b, lv, per_config[(b, lv)].get(
-            index, {"missing": True})) for b, lv in configs]
-        report.crashes += sum(1 for e in execs if "crash" in e.outcome)
-        report.timeouts += sum(1 for e in execs if "timeout" in e.outcome)
-        canons = {e.canon() for e in execs}
-        if len(canons) > 1:
-            report.divergences.append(Divergence(
-                seed=seed, index=index,
-                program=generate_program(seed, index), executions=execs))
-        else:
-            outcome = execs[0].outcome
-            if any("trap" in o for o in outcome.get("outcomes") or []):
-                report.traps += 1
+        report = FuzzReport(seed=seed, count=count, configs=configs)
+        for index in range(count):
+            execs = [Execution(b, lv, per_config[(b, lv)].get(
+                index, {"missing": True})) for b, lv in configs]
+            report.crashes += sum(1 for e in execs if "crash" in e.outcome)
+            report.timeouts += sum(1 for e in execs if "timeout" in e.outcome)
+            canons = {e.canon() for e in execs}
+            if len(canons) > 1:
+                report.divergences.append(Divergence(
+                    seed=seed, index=index,
+                    program=generate_program(seed, index), executions=execs))
+            else:
+                outcome = execs[0].outcome
+                if any("trap" in o for o in outcome.get("outcomes") or []):
+                    report.traps += 1
+        fsp.set(divergences=len(report.divergences),
+                crashes=report.crashes, timeouts=report.timeouts)
     report.elapsed = time.perf_counter() - t0
 
     if record_stats:

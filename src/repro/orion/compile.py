@@ -31,7 +31,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .. import includec, terra
+from .. import includec, terra, trace
 from ..core import types as T
 from ..errors import TerraError
 from . import lang
@@ -188,6 +188,15 @@ def compile_pipeline(output, N: int, vectorize: int | bool = False,
     ``schedule`` maps stages (or stage names) to policies; unlisted
     stages use their declared ``policy=`` or ``default_policy``.
     """
+    with trace.span("orion.compile", cat="orion", N=N,
+                    vectorize=int(vectorize) if vectorize else 0) as sp:
+        stencil = _compile_pipeline(output, N, vectorize, schedule,
+                                    default_policy)
+        sp.set(stages=len(stencil.input_names) + len(stencil.output_names))
+        return stencil
+
+
+def _compile_pipeline(output, N, vectorize, schedule, default_policy):
     outputs = output if isinstance(output, (list, tuple)) else [output]
     out_stages = [lang.as_stage(o, f"out{i}" if len(outputs) > 1 else "out")
                   for i, o in enumerate(outputs)]

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from ..errors import CompileError
+from .. import trace
 
 # -- pipeline levels --------------------------------------------------------------
 
@@ -195,7 +196,10 @@ class PassManager:
         for p in self.passes:
             self._dump(typed, p.name, "before")
             t0 = time.perf_counter()
-            changed = bool(p.run(typed))
+            with trace.span(f"pass:{p.name}", cat="passes",
+                            function=getattr(typed, "name", "?")) as sp:
+                changed = bool(p.run(typed))
+                sp.set(changed=changed)
             seconds = time.perf_counter() - t0
             self._dump(typed, p.name, "after")
             if self.verify and p.name != "verify":
@@ -217,14 +221,11 @@ class PassManager:
 
 
 def _record_pass_time(name: str, seconds: float) -> None:
-    """Merge pass timing into the buildd telemetry (best-effort: the
-    pipeline must keep working even if the compile service cannot start,
-    e.g. on a host with no usable temp dir)."""
-    try:
-        from ..buildd import get_service
-        get_service().stats.record_pass(name, seconds)
-    except Exception:
-        pass
+    """Merge pass timing into the process metrics registry — the same
+    series ``repro.buildd.stats()["passes"]`` reports, without needing a
+    compile service to exist (see :mod:`repro.trace.metrics`)."""
+    from ..trace.metrics import registry
+    registry().record_time(f"pass.{name}", seconds)
 
 
 # -- per-function pipeline entry points -------------------------------------------
@@ -252,7 +253,9 @@ def _advance_locked(typed, level: int) -> None:
     from ..core.tast import clone
     if typed.pipeline_level not in typed._pipeline_bodies:
         typed._pipeline_bodies[typed.pipeline_level] = clone(typed.body)
-    PassManager(LEVEL_PASSES[level]).run(typed)
+    with trace.span(f"pipeline:{typed.name}", cat="passes",
+                    level=level, from_level=typed.pipeline_level):
+        PassManager(LEVEL_PASSES[level]).run(typed)
     typed.pipeline_level = level
 
 

@@ -1,0 +1,152 @@
+"""The in-process span collector.
+
+A **span** is one timed region of the staging/compile/run lifecycle —
+``specialize:gemm``, ``pass:fold``, ``buildd.compile`` — with a category,
+key/value attributes, and a parent (the span that was open on the same
+thread when it began).  The collector records spans from any thread into
+one buffer; nesting is tracked per thread, so spans emitted by buildd
+worker threads form their own well-nested lanes rather than corrupting
+the main thread's stack.
+
+Cost model: when tracing is disabled (the default) no :class:`Span` is
+ever created — call sites receive the shared :data:`NULL_SPAN`, whose
+``__enter__``/``__exit__``/``set`` are empty methods.  When enabled, each
+span is one small object, two clock reads, and two short critical
+sections.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class Span:
+    """One timed, attributed region.  Context manager: ``with`` closes it."""
+
+    __slots__ = ("name", "cat", "args", "start_ns", "dur_ns", "tid",
+                 "thread_name", "parent", "index", "_collector")
+
+    def __init__(self, collector: "Collector", name: str, cat: str,
+                 args: Optional[dict]) -> None:
+        self._collector = collector
+        self.name = name
+        self.cat = cat
+        self.args = dict(args) if args else {}
+        self.tid = threading.get_ident()
+        self.thread_name = threading.current_thread().name
+        self.parent: Optional[int] = None
+        self.index: Optional[int] = None
+        self.dur_ns: Optional[int] = None
+        self.start_ns = 0  # set by the collector at begin()
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (component size, cache
+        outcome, GFLOPS...)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._collector.end(self)
+
+
+class _NullSpan:
+    """Shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Collector:
+    """Thread-safe buffer of spans and instants for one process."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self._lock = threading.Lock()
+        self._events: list[Span] = []
+        self._tls = threading.local()
+        self.epoch_ns = time.perf_counter_ns()
+        self.max_events = max_events
+        self.dropped = 0
+
+    def _stack(self) -> list:
+        try:
+            return self._tls.stack
+        except AttributeError:
+            self._tls.stack = []
+            return self._tls.stack
+
+    # -- recording ----------------------------------------------------------
+    def begin(self, name: str, cat: str, args: Optional[dict]) -> Span:
+        span = Span(self, name, cat, args)
+        span.start_ns = time.perf_counter_ns() - self.epoch_ns
+        stack = self._stack()
+        if stack:
+            span.parent = stack[-1].index
+        stack.append(span)
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1  # still on the stack, just not exported
+            else:
+                span.index = len(self._events)
+                self._events.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        if span.dur_ns is None:
+            span.dur_ns = time.perf_counter_ns() - self.epoch_ns \
+                - span.start_ns
+        stack = self._stack()
+        # pop through anything left open below this span (a child that
+        # escaped without closing must not corrupt later nesting)
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+
+    def instant(self, name: str, cat: str, args: Optional[dict]) -> None:
+        span = Span(self, name, cat, args)
+        span.start_ns = time.perf_counter_ns() - self.epoch_ns
+        span.dur_ns = -1  # marker: instant event
+        stack = self._stack()
+        if stack:
+            span.parent = stack[-1].index
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
+            span.index = len(self._events)
+            self._events.append(span)
+
+    # -- reading ------------------------------------------------------------
+    def events(self) -> list[Span]:
+        """A snapshot of the recorded spans (open spans included, with
+        ``dur_ns`` still None)."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+        self.epoch_ns = time.perf_counter_ns()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

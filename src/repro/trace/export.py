@@ -1,0 +1,227 @@
+"""Trace export: Chrome ``trace_event`` JSON and the ``--tree`` summary.
+
+The JSON format is the Trace Event Format consumed by ``chrome://tracing``
+and https://ui.perfetto.dev — an object with a ``traceEvents`` list of
+complete (``"ph": "X"``), instant (``"ph": "i"``) and metadata
+(``"ph": "M"``) events, timestamps and durations in **microseconds**.
+The tree renderer works from that same event list (live spans or a loaded
+JSON file), reconstructing nesting per thread from timestamp containment,
+so ``python -m repro.trace view`` can summarize any trace file it did not
+itself record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .collector import Span
+
+
+def to_chrome(spans: list[Span], process_name: str = "repro-terra") -> dict:
+    """Render collected spans as a Chrome/Perfetto trace_event document."""
+    pid = os.getpid()
+    events: list[dict] = []
+    tids: dict[int, int] = {}
+    thread_names: dict[int, str] = {}
+    for span in spans:
+        tid = tids.setdefault(span.tid, len(tids))
+        thread_names.setdefault(tid, span.thread_name)
+        event = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": span.start_ns / 1000.0,
+        }
+        if span.args:
+            event["args"] = _jsonable(span.args)
+        if span.dur_ns == -1:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            # open spans (process still inside them) export zero-length
+            event["dur"] = (span.dur_ns or 0) / 1000.0
+        events.append(event)
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": process_name}}]
+    for tid, name in sorted(thread_names.items()):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tid, "args": {"name": name}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(args: dict) -> dict:
+    return {k: (v if isinstance(v, (int, float, bool, str, type(None)))
+                else str(v))
+            for k, v in args.items()}
+
+
+def write_chrome(path: str, spans: list[Span],
+                 process_name: str = "repro-terra") -> str:
+    doc = to_chrome(spans, process_name)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh)
+    os.replace(tmp, path)
+    return path
+
+
+# -- validation ---------------------------------------------------------------
+
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s",
+                 "t", "f"}
+
+
+def validate_chrome(doc) -> list[str]:
+    """Structural validation of a trace_event document; returns a list of
+    problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing event name")
+        if ph != "M":
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{where}: missing numeric 'ts'")
+            if not isinstance(ev.get("pid"), int) \
+                    or not isinstance(ev.get("tid"), int):
+                errors.append(f"{where}: missing integer pid/tid")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs 'dur' >= 0")
+        if len(errors) >= 20:
+            errors.append("... (more suppressed)")
+            break
+    return errors
+
+
+# -- the tree summary ---------------------------------------------------------
+
+class _Node:
+    __slots__ = ("event", "children")
+
+    def __init__(self, event: dict) -> None:
+        self.event = event
+        self.children: list["_Node"] = []
+
+
+def _build_forest(events: list[dict]) -> dict[tuple, list[_Node]]:
+    """Reconstruct nesting per (pid, tid) from timestamp containment."""
+    lanes: dict[tuple, list[dict]] = {}
+    names: dict[tuple, str] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                names[(ev.get("pid"), ev.get("tid"))] = \
+                    (ev.get("args") or {}).get("name", "")
+            continue
+        if ph in ("X", "i", "I"):
+            lanes.setdefault((ev.get("pid"), ev.get("tid")), []).append(ev)
+    forest: dict[tuple, list[_Node]] = {}
+    for lane, evs in sorted(lanes.items(), key=lambda kv: str(kv[0])):
+        evs.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+        roots: list[_Node] = []
+        stack: list[_Node] = []
+        for ev in evs:
+            node = _Node(ev)
+            end = ev["ts"] + ev.get("dur", 0)
+            while stack:
+                top = stack[-1].event
+                if ev["ts"] >= top["ts"] + top.get("dur", 0) - 1e-9:
+                    stack.pop()
+                else:
+                    break
+            (stack[-1].children if stack else roots).append(node)
+            if ev.get("ph") == "X" and end > ev["ts"]:
+                stack.append(node)
+        label = names.get(lane, "")
+        forest[(lane, label)] = roots
+    return forest
+
+
+def format_tree(doc: dict, max_children: int = 24,
+                min_ms: float = 0.0) -> str:
+    """A human nested summary of a trace_event document."""
+    events = doc.get("traceEvents", [])
+    forest = _build_forest(events)
+    lines: list[str] = []
+    for (lane, label), roots in forest.items():
+        title = f"thread {label}" if label else f"thread pid={lane[0]} tid={lane[1]}"
+        lines.append(title)
+        _format_nodes(roots, "", lines, max_children, min_ms)
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)
+
+
+def _format_nodes(nodes: list[_Node], indent: str, lines: list[str],
+                  max_children: int, min_ms: float) -> None:
+    shown = nodes[:max_children]
+    for i, node in enumerate(shown):
+        last = (i == len(shown) - 1) and len(nodes) <= max_children
+        branch, cont = ("└─ ", "   ") if last else ("├─ ", "│  ")
+        ev = node.event
+        if ev.get("ph") in ("i", "I"):
+            lines.append(f"{indent}{branch}• {ev['name']}"
+                         f"{_fmt_args(ev)}")
+            continue
+        dur_ms = ev.get("dur", 0) / 1000.0
+        if dur_ms < min_ms and not node.children:
+            continue
+        lines.append(f"{indent}{branch}{ev['name']}  {dur_ms:.3f} ms"
+                     f"{_fmt_args(ev)}")
+        _format_nodes(node.children, indent + cont, lines,
+                      max_children, min_ms)
+    if len(nodes) > max_children:
+        rest = nodes[max_children:]
+        total = sum(n.event.get("dur", 0) for n in rest) / 1000.0
+        lines.append(f"{indent}└─ … {len(rest)} more "
+                     f"({total:.3f} ms total)")
+
+
+def _fmt_args(ev: dict) -> str:
+    args = ev.get("args")
+    if not args:
+        return ""
+    parts = [f"{k}={v}" for k, v in list(args.items())[:5]]
+    return "  {" + ", ".join(parts) + "}"
+
+
+def summarize(doc: dict) -> dict:
+    """Aggregate totals by category and by span name (for quick looks and
+    the CLI's validate output)."""
+    by_cat: dict[str, dict] = {}
+    by_name: dict[str, dict] = {}
+    count = 0
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "I"):
+            continue
+        if ph == "X":
+            count += 1
+        # instants contribute to the counts (a trace full of cache-hit
+        # instants should still show "buildd" in the summary) but no time
+        for key, store in ((ev.get("cat", "?"), by_cat),
+                           (ev.get("name", "?"), by_name)):
+            entry = store.setdefault(key, {"count": 0, "ms": 0.0})
+            entry["count"] += 1
+            if ph == "X":
+                entry["ms"] += ev.get("dur", 0) / 1000.0
+    return {"spans": count, "by_category": by_cat, "by_name": by_name}

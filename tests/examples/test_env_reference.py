@@ -1,0 +1,60 @@
+"""docs/ENVIRONMENT.md is the single authoritative REPRO_* reference.
+
+Two drift directions, both fatal:
+
+* a variable read somewhere in ``src/`` or ``benchmarks/`` but missing
+  from the table;
+* a variable listed in the table that no code reads anymore.
+"""
+
+import os
+import re
+
+_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+_DOC = os.path.join(_ROOT, "docs", "ENVIRONMENT.md")
+_VAR = re.compile(r"REPRO_[A-Z0-9_]+")
+
+
+def _vars_in_tree():
+    found = set()
+    for top in ("src", "benchmarks"):
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(_ROOT, top)):
+            if "__pycache__" in dirpath:
+                continue
+            for name in filenames:
+                if not name.endswith(".py"):
+                    continue
+                text = open(os.path.join(dirpath, name),
+                            encoding="utf-8").read()
+                found.update(_VAR.findall(text))
+    return found
+
+
+def _vars_in_table():
+    table = set()
+    for line in open(_DOC, encoding="utf-8"):
+        if line.startswith("| `REPRO_"):
+            table.update(_VAR.findall(line.split("|")[1]))
+    return table
+
+
+def test_every_variable_in_code_is_documented():
+    undocumented = _vars_in_tree() - _vars_in_table()
+    assert not undocumented, (
+        f"environment variables used in src/ or benchmarks/ but missing "
+        f"from docs/ENVIRONMENT.md: {sorted(undocumented)}")
+
+
+def test_every_documented_variable_exists_in_code():
+    stale = _vars_in_table() - _vars_in_tree()
+    assert not stale, (
+        f"docs/ENVIRONMENT.md lists variables no code reads: "
+        f"{sorted(stale)}")
+
+
+def test_the_table_is_nonempty_and_covers_the_core_switches():
+    table = _vars_in_table()
+    assert len(table) >= 10
+    for core in ("REPRO_TERRA_BACKEND", "REPRO_TERRA_TRACE",
+                 "REPRO_TERRA_PROFILE", "REPRO_BUILDD_JOBS"):
+        assert core in table

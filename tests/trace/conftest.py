@@ -1,0 +1,20 @@
+"""Every trace test leaves the process exactly as it found it: tracing
+and profiling off, collector and profile tables empty."""
+
+import pytest
+
+from repro import trace
+from repro.trace import profile
+
+
+@pytest.fixture(autouse=True)
+def clean_trace_state():
+    trace.disable()
+    trace.clear()
+    profile.disable()
+    profile.clear()
+    yield
+    trace.disable()
+    trace.clear()
+    profile.disable()
+    profile.clear()

@@ -1,0 +1,82 @@
+"""python -m repro.trace — run / view / validate."""
+
+import json
+import sys
+
+import pytest
+
+from repro import trace
+from repro.trace.__main__ import main
+
+SCRIPT = '''
+import repro
+fn = repro.terra("""
+terra clidemo(a : int) : int
+  return a * 2
+end
+""")
+assert fn(21) == 42
+'''
+
+
+@pytest.fixture()
+def traced_json(tmp_path):
+    script = tmp_path / "demo.py"
+    script.write_text(SCRIPT)
+    out = tmp_path / "trace.json"
+    argv_before = list(sys.argv)
+    try:
+        assert main(["run", "-o", str(out), str(script)]) == 0
+    finally:
+        sys.argv = argv_before
+    return str(out)
+
+
+def test_run_writes_a_valid_trace(traced_json, capsys):
+    doc = json.load(open(traced_json))
+    assert trace.validate_chrome(doc) == []
+    names = {e.get("name") for e in doc["traceEvents"]}
+    assert any(n and n.startswith("specialize:clidemo") for n in names)
+    assert any(n and n.startswith("call:clidemo") for n in names)
+
+
+def test_validate_accepts_and_reports(traced_json, capsys):
+    assert main(["validate", traced_json]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("OK:")
+    assert "categories:" in out
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+    malformed = tmp_path / "malformed.json"
+    malformed.write_text(json.dumps(
+        {"traceEvents": [{"name": "x", "ph": "??"}]}))
+    assert main(["validate", str(malformed)]) == 1
+
+
+def test_view_summary_and_tree(traced_json, capsys):
+    assert main(["view", traced_json]) == 0
+    summary = capsys.readouterr().out
+    assert "category" in summary and "stage" in summary
+    assert main(["view", traced_json, "--tree"]) == 0
+    tree_text = capsys.readouterr().out
+    assert "specialize:clidemo" in tree_text
+
+
+def test_run_with_profile_prints_table(tmp_path, capsys):
+    script = tmp_path / "demo.py"
+    script.write_text(SCRIPT)
+    out = tmp_path / "trace.json"
+    argv_before = list(sys.argv)
+    try:
+        assert main(["run", "-o", str(out), "--profile",
+                     str(script)]) == 0
+    finally:
+        sys.argv = argv_before
+    text = capsys.readouterr().out
+    assert "clidemo" in text

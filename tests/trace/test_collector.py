@@ -1,0 +1,139 @@
+"""The span collector: nesting, thread lanes, instants, error capture."""
+
+import threading
+
+import pytest
+
+from repro import trace
+from repro.trace.collector import Collector, NULL_SPAN
+
+
+def test_disabled_span_is_the_shared_null_span():
+    assert not trace.enabled()
+    sp = trace.span("anything", cat="x", k=1)
+    assert sp is NULL_SPAN
+    # the null span absorbs the whole protocol without recording
+    with sp as s:
+        s.set(more=2)
+    assert trace.events() == []
+
+
+def test_enable_disable_roundtrip():
+    assert not trace.enabled()
+    trace.enable()
+    assert trace.enabled()
+    trace.disable()
+    assert not trace.enabled()
+
+
+def test_spans_nest_on_one_thread():
+    trace.enable()
+    with trace.span("outer", cat="t") as outer:
+        with trace.span("inner", cat="t") as inner:
+            pass
+    evs = trace.events()
+    assert [e.name for e in evs] == ["outer", "inner"]
+    assert inner.parent == outer.index
+    assert outer.parent is None
+    assert outer.dur_ns >= inner.dur_ns >= 0
+
+
+def test_set_attaches_attributes_mid_span():
+    trace.enable()
+    with trace.span("s", cat="t", a=1) as sp:
+        sp.set(b=2)
+    assert trace.events()[0].args == {"a": 1, "b": 2}
+
+
+def test_exception_records_error_attribute_and_closes():
+    trace.enable()
+    with pytest.raises(ValueError):
+        with trace.span("boom", cat="t"):
+            raise ValueError("no")
+    ev = trace.events()[0]
+    assert ev.args["error"] == "ValueError"
+    assert ev.dur_ns is not None
+    # the stack is clean: a following span is a root, not a child
+    with trace.span("after", cat="t"):
+        pass
+    assert trace.events()[1].parent is None
+
+
+def test_instants_record_but_do_not_nest():
+    trace.enable()
+    with trace.span("parent", cat="t") as parent:
+        trace.instant("marker", cat="t", key="abc")
+    evs = trace.events()
+    assert evs[1].name == "marker"
+    assert evs[1].dur_ns == -1
+    assert evs[1].parent == parent.index
+
+
+def test_instant_when_disabled_is_a_noop():
+    trace.instant("nothing")
+    assert trace.events() == []
+
+
+def test_clear_resets_events_and_epoch():
+    trace.enable()
+    with trace.span("s", cat="t"):
+        pass
+    assert len(trace.events()) == 1
+    trace.clear()
+    assert trace.events() == []
+    with trace.span("s2", cat="t"):
+        pass
+    assert trace.events()[0].start_ns >= 0
+
+
+def test_threads_get_independent_stacks():
+    """Spans on different threads never parent across threads."""
+    trace.enable()
+    ready = threading.Barrier(2)
+    done = []
+
+    def worker(tag):
+        ready.wait()
+        with trace.span(f"outer-{tag}", cat="t"):
+            with trace.span(f"inner-{tag}", cat="t"):
+                pass
+        done.append(tag)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert sorted(done) == [0, 1]
+    evs = {e.name: e for e in trace.events()}
+    by_index = {e.index: e for e in trace.events()}
+    for tag in (0, 1):
+        inner, outer = evs[f"inner-{tag}"], evs[f"outer-{tag}"]
+        assert inner.tid == outer.tid
+        assert by_index[inner.parent] is outer
+
+
+def test_escaped_child_does_not_corrupt_later_nesting():
+    """Closing a parent pops any children left open on the stack."""
+    trace.enable()
+    outer = trace.collector().begin("outer", "t", None)
+    trace.collector().begin("leaked", "t", None)   # never ended
+    trace.collector().end(outer)
+    with trace.span("next", cat="t"):
+        pass
+    assert trace.events()[2].name == "next"
+    assert trace.events()[2].parent is None
+
+
+def test_event_cap_drops_but_keeps_stack_sane():
+    c = Collector(max_events=2)
+    a = c.begin("a", "t", None)
+    b = c.begin("b", "t", None)
+    d = c.begin("dropped", "t", None)   # over the cap
+    c.end(d)
+    c.end(b)
+    c.end(a)
+    assert len(c) == 2
+    assert c.dropped == 1
+    assert [s.name for s in c.events()] == ["a", "b"]
+    assert all(s.dur_ns is not None for s in c.events())

@@ -1,0 +1,118 @@
+"""Chrome trace_event export, validation, and the tree renderer."""
+
+import json
+
+from repro import trace
+from repro.trace.export import (format_tree, summarize, to_chrome,
+                                validate_chrome)
+
+
+def _record_sample():
+    trace.enable()
+    with trace.span("terra", cat="stage", filename="<t>"):
+        with trace.span("parse", cat="stage"):
+            pass
+    trace.instant("buildd.cache_hit", cat="buildd", key="abc123")
+
+
+def test_export_is_valid_and_json_serializable():
+    _record_sample()
+    doc = trace.export_chrome()
+    assert validate_chrome(doc) == []
+    text = json.dumps(doc)                      # round-trips
+    assert validate_chrome(json.loads(text)) == []
+
+
+def test_export_structure():
+    _record_sample()
+    doc = trace.export_chrome()
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    assert any(e["name"] == "thread_name" for e in metas)
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in spans} == {"terra", "parse"}
+    for e in spans:
+        assert isinstance(e["ts"], float) and e["dur"] >= 0
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["name"] == "buildd.cache_hit"
+    assert instants[0]["args"]["key"] == "abc123"
+
+
+def test_non_json_args_are_stringified():
+    trace.enable()
+    with trace.span("s", cat="t", obj=object(), ok=1):
+        pass
+    doc = trace.export_chrome()
+    args = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]["args"]
+    assert isinstance(args["obj"], str)
+    assert args["ok"] == 1
+    json.dumps(doc)
+
+
+def test_write_chrome_is_a_file(tmp_path):
+    _record_sample()
+    path = str(tmp_path / "out.json")
+    assert trace.export_chrome(path) == path
+    doc = json.loads(open(path).read())
+    assert validate_chrome(doc) == []
+
+
+def test_validate_rejects_malformed_documents():
+    assert validate_chrome([]) != []
+    assert validate_chrome({}) == ["missing 'traceEvents' list"]
+    bad_phase = {"traceEvents": [{"name": "x", "ph": "ZZ"}]}
+    assert any("unknown phase" in e for e in validate_chrome(bad_phase))
+    no_dur = {"traceEvents": [
+        {"name": "x", "ph": "X", "ts": 0.0, "pid": 1, "tid": 0}]}
+    assert any("dur" in e for e in validate_chrome(no_dur))
+    no_name = {"traceEvents": [
+        {"ph": "i", "ts": 0.0, "pid": 1, "tid": 0}]}
+    assert any("name" in e for e in validate_chrome(no_name))
+
+
+def test_tree_reconstructs_nesting_from_timestamps():
+    _record_sample()
+    text = trace.tree()
+    lines = text.splitlines()
+    terra_line = next(l for l in lines if "terra" in l)
+    parse_line = next(l for l in lines if "parse" in l)
+    # parse renders as a child (deeper indent) of terra
+    assert len(parse_line) - len(parse_line.lstrip("│ ├└─")) or \
+        parse_line.index("parse") > terra_line.index("terra")
+    assert "• buildd.cache_hit" in text
+    assert "{key=abc123}" in text
+
+
+def test_tree_collapses_excess_children():
+    trace.enable()
+    for i in range(30):
+        with trace.span(f"s{i}", cat="t"):
+            pass
+    text = format_tree(trace.export_chrome(), max_children=5)
+    assert "more" in text
+    assert "s29" not in text
+
+
+def test_tree_of_empty_trace():
+    assert "empty trace" in format_tree({"traceEvents": []})
+
+
+def test_summarize_counts_spans_and_instants():
+    _record_sample()
+    summary = summarize(trace.export_chrome())
+    assert summary["spans"] == 2
+    assert summary["by_category"]["stage"]["count"] == 2
+    # instants show up in the category counts with zero time
+    assert summary["by_category"]["buildd"] == {"count": 1, "ms": 0.0}
+    assert summary["by_name"]["parse"]["count"] == 1
+
+
+def test_open_spans_export_with_zero_duration():
+    trace.enable()
+    trace.collector().begin("still-open", "t", None)
+    doc = to_chrome(trace.events())
+    ev = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+    assert ev["dur"] == 0
+    assert validate_chrome(doc) == []

@@ -1,0 +1,80 @@
+"""The per-call runtime profiler and fn.report()."""
+
+import repro
+from repro import trace
+from repro.trace import profile
+
+
+def _fresh_add():
+    return repro.terra('''
+    terra padd(a : int, b : int) : int
+      return a + b
+    end
+    ''')
+
+
+def test_profile_records_calls_without_tracing():
+    fn = _fresh_add()
+    fn(1, 2)                       # compile + one unprofiled call
+    profile.enable()
+    assert trace._runtime_active   # the hook is armed by profiling alone
+    fn(3, 4)
+    fn(5, 6)
+    stats = profile.stats_for(fn)
+    assert stats["calls"] == 2
+    assert stats["seconds"] >= stats["min"] > 0
+    assert stats["min"] <= stats["mean"] <= stats["max"]
+    assert trace.events() == []    # profiling alone records no spans
+
+
+def test_profile_disabled_records_nothing():
+    fn = _fresh_add()
+    fn(1, 2)
+    assert profile.stats_for(fn) is None
+    assert profile.all_stats() == {}
+
+
+def test_fn_report_returns_stats_and_prints(capsys):
+    fn = _fresh_add()
+    profile.enable()
+    assert fn(2, 2) == 4
+    stats = fn.report()
+    out = capsys.readouterr().out
+    assert stats["calls"] == 1
+    assert "padd" in out and "1 calls" in out
+
+
+def test_fn_report_on_unprofiled_function(capsys):
+    fn = _fresh_add()
+    assert fn.report() is None
+    assert "no profiled calls" in capsys.readouterr().out
+
+
+def test_report_table_sorts_and_formats():
+    fn = _fresh_add()
+    profile.enable()
+    fn(0, 0)
+    text = profile.report()
+    assert "padd" in text
+    assert "calls" in text
+    profile.clear()
+    assert "no profiled calls" in profile.report()
+
+
+def test_profile_works_on_interp_backend():
+    fn = _fresh_add()
+    profile.enable()
+    handle = fn.compile(repro.get_backend("interp"))
+    assert handle(7, 8) == 15
+    assert profile.stats_for(fn)["calls"] == 1
+
+
+def test_tracing_plus_profiling_records_call_spans():
+    fn = _fresh_add()
+    fn(0, 0)   # compile outside the traced window
+    trace.enable()
+    profile.enable()
+    fn(1, 1)
+    names = [e.name for e in trace.events()]
+    assert "call:padd" in names
+    assert profile.stats_for(fn)["calls"] == 1
