@@ -3,9 +3,10 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke trace-demo bench bench-compile report examples clean
+.PHONY: install test check verify-ir fuzz-smoke trace-demo parallel-smoke bench bench-compile report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
+PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -36,6 +37,13 @@ trace-demo:  # record a full-lifecycle trace of quickstart.py, validate, summari
 	$(PYTHON) -m repro.trace validate $(TRACE_DEMO_OUT)
 	$(PYTHON) -m repro.trace view $(TRACE_DEMO_OUT)
 	@echo "trace written to $(TRACE_DEMO_OUT) — open in ui.perfetto.dev"
+
+parallel-smoke:  # parallel == serial at tiny size, then a traced demo (worker lanes)
+	$(PYTHON) -m pytest tests/parallel benchmarks/test_parallel_scaling.py -p no:benchmark -q
+	REPRO_TERRA_TRACE=1 REPRO_TERRA_TRACE_OUT=$(PARALLEL_TRACE_OUT) \
+		$(PYTHON) -m repro.parallel --n 2048 --threads 4
+	$(PYTHON) -m repro.trace validate $(PARALLEL_TRACE_OUT)
+	@echo "worker-lane trace written to $(PARALLEL_TRACE_OUT) — open in ui.perfetto.dev"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -102,3 +102,14 @@ def test_correctness_all_schedules(init_state):
         ou, ov, od = sim.get_state()
         assert np.allclose(ou, ru, atol=1e-4)
         assert np.allclose(od, rd, atol=1e-4)
+        # the parallel twin of every schedule must be BIT-identical to
+        # its serial version — chunking may never change results
+        par = make_orion_fluid(small, vectorize=vec, linebuffer=lb,
+                               parallel=3)
+        par.set_state(u, v, d)
+        for _ in range(2):
+            par.step()
+        pu, pv, pd = par.get_state()
+        assert pu.tobytes() == ou.tobytes()
+        assert pv.tobytes() == ov.tobytes()
+        assert pd.tobytes() == od.tobytes()

@@ -68,9 +68,18 @@ def _jacobi_chain(x0: L.Stage, a: float, iters: int,
     return x
 
 
-def _advect_terra():
+def _advect_terra(chunked: bool = False):
     """Semi-Lagrangian advection as a plain Terra function (not a stencil):
-    trace velocity backwards, bilinearly sample."""
+    trace velocity backwards, bilinearly sample.  With ``chunked=True``
+    the C backend also emits a chunked entry so rows can be dispatched
+    across workers (each output row is independent)."""
+    fn = _make_advect()
+    if chunked:
+        fn.mark_chunked()
+    return fn
+
+
+def _make_advect():
     return terra("""
     terra advect(dst : &float, src : &float, u : &float, v : &float,
                  N : int, W : int, P : int, dt : float) : {}
@@ -104,11 +113,16 @@ class OrionFluid:
     """The Orion/Terra fluid solver with a schedulable stencil core."""
 
     def __init__(self, params: FluidParams, vectorize: int = 0,
-                 linebuffer: bool = False):
+                 linebuffer: bool = False, parallel=None):
+        from ..orion.compile import _resolve_parallel
         self.params = params
         N = params.N
         self.N = N
         p = params
+        # effective worker count; <= 1 compiles the exact serial solver
+        # (byte-identical generated code, no chunked entries)
+        self._nt = _resolve_parallel(parallel)
+        par = self._nt if self._nt > 1 else None
 
         a_visc = p.dt * p.visc * N * N
         a_diff = p.dt * p.diff * N * N
@@ -116,11 +130,11 @@ class OrionFluid:
         x0 = L.image("x0")
         self.diffuse_visc = compile_pipeline(
             _jacobi_chain(x0, a_visc, p.diffuse_iters, linebuffer), N,
-            vectorize=vectorize)
+            vectorize=vectorize, parallel=par)
         x0d = L.image("x0")
         self.diffuse_diff = compile_pipeline(
             _jacobi_chain(x0d, a_diff, p.diffuse_iters, linebuffer), N,
-            vectorize=vectorize)
+            vectorize=vectorize, parallel=par)
 
         # projection — ONE fused multi-output pipeline: divergence,
         # pressure Jacobi chain, and both gradient subtractions
@@ -139,9 +153,10 @@ class OrionFluid:
         u_out = u_in(0, 0) - 0.5 * N * (pstage(1, 0) - pstage(-1, 0))
         v_out = v_in(0, 0) - 0.5 * N * (pstage(0, 1) - pstage(0, -1))
         self.project_pipe = compile_pipeline([u_out, v_out], N,
-                                             vectorize=vectorize)
+                                             vectorize=vectorize,
+                                             parallel=par)
 
-        self.advect = _advect_terra()
+        self.advect = _advect_terra(chunked=self._nt > 1)
 
         # every pipeline shares geometry (P=1 footprint), so buffers are
         # interchangeable as long as W matches
@@ -167,37 +182,48 @@ class OrionFluid:
                 self.d[:, P:P + N].copy())
 
     # -- one solver step ------------------------------------------------------------
-    def step(self) -> None:
+    def _advect_into(self, dst, src, u, v) -> None:
         p = self.params
         N, W, P = self.N, self.W, self.P
-        # diffuse velocities
-        self.diffuse_visc.fn(self._u1, self.u)
-        self.diffuse_visc.fn(self._v1, self.v)
+        if self._nt > 1:
+            # rows are independent: chunk the outer i loop across workers
+            from ..parallel import parallel_for
+            parallel_for(self.advect, 0, N, dst, src, u, v, N, W, P, p.dt,
+                         nthreads=self._nt)
+        else:
+            self.advect(dst, src, u, v, N, W, P, p.dt)
+
+    def step(self) -> None:
+        # diffuse velocities (CompiledStencil.__call__ dispatches worker
+        # strips for parallel schedules, calls the Terra function for
+        # serial ones)
+        self.diffuse_visc(self._u1, self.u)
+        self.diffuse_visc(self._v1, self.v)
         self.u, self._u1 = self._u1, self.u
         self.v, self._v1 = self._v1, self.v
         # project (one fused multi-output pipeline)
-        self.project_pipe.fn(self._u1, self._v1, self.u, self.v)
+        self.project_pipe(self._u1, self._v1, self.u, self.v)
         self.u, self._u1 = self._u1, self.u
         self.v, self._v1 = self._v1, self.v
         # advect velocities and density (semi-Lagrangian Terra function)
-        self.advect(self._u1, self.u, self.u, self.v, N, W, P, p.dt)
-        self.advect(self._v1, self.v, self.u, self.v, N, W, P, p.dt)
+        self._advect_into(self._u1, self.u, self.u, self.v)
+        self._advect_into(self._v1, self.v, self.u, self.v)
         self.u, self._u1 = self._u1, self.u
         self.v, self._v1 = self._v1, self.v
         # final projection
-        self.project_pipe.fn(self._u1, self._v1, self.u, self.v)
+        self.project_pipe(self._u1, self._v1, self.u, self.v)
         self.u, self._u1 = self._u1, self.u
         self.v, self._v1 = self._v1, self.v
         # density: diffuse then advect
-        self.diffuse_diff.fn(self._d1, self.d)
+        self.diffuse_diff(self._d1, self.d)
         self.d, self._d1 = self._d1, self.d
-        self.advect(self._d1, self.d, self.u, self.v, N, W, P, p.dt)
+        self._advect_into(self._d1, self.d, self.u, self.v)
         self.d, self._d1 = self._d1, self.d
 
 
 def make_orion_fluid(params: FluidParams, vectorize: int = 0,
-                     linebuffer: bool = False) -> OrionFluid:
-    return OrionFluid(params, vectorize, linebuffer)
+                     linebuffer: bool = False, parallel=None) -> OrionFluid:
+    return OrionFluid(params, vectorize, linebuffer, parallel)
 
 
 # ===========================================================================

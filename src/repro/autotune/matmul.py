@@ -141,6 +141,108 @@ def make_gemm_packed(NB: int, RM: int, RN: int, V: int,
     return gemm
 
 
+def make_gemm_packed_parallel(NB: int, RM: int, RN: int, V: int,
+                              elem: T.Type = double,
+                              use_prefetch: bool = True, fma: bool = True,
+                              nthreads: int = 0):
+    """Packed GEMM whose row-panel loop runs across worker threads.
+
+    The kernel is restructured so ``mb`` (the C row-panel index) is the
+    *outer* loop: each panel of C has exactly one writer, so panels
+    dispatch independently, and each chunk call packs into its own
+    freshly-malloc'd scratch (per-worker buffers for free).  Per element
+    of C the k-accumulation order is unchanged, so the result is
+    bit-identical to the serial packed GEMM.  Edge tails (N not a
+    multiple of NB) run serially after the panels.
+
+    Returns a Python driver ``gemm(C, A, B, N)``; the staged pieces are
+    exposed as ``gemm.panels`` / ``gemm.edges`` for inspection.
+    """
+    from .. import includec
+    from ..parallel import default_nthreads, parallel_for
+    std = includec("stdlib.h")
+    l1_first = genkernel(NB, RM, RN, V, 0.0, elem, use_prefetch)
+    l1_accum = genkernel(NB, RM, RN, V, 1.0, elem, use_prefetch)
+    panels = terra("""
+    terra gemm_panels(C : &elem, A : &elem, B : &elem, N : int64) : {}
+      var N0 = (N / NB) * NB     -- the blocked interior; edges go naive
+      for mb = 0, N0, NB do
+        var bufA = [&elem](std.malloc(NB * NB * sizeof(elem)))
+        var bufB = [&elem](std.malloc(NB * NB * sizeof(elem)))
+        for nb = 0, N0, NB do
+          for kb = 0, N0, NB do
+            -- pack B[kb : kb+NB, nb : nb+NB] contiguously
+            for i = 0, NB do
+              var src = B + (kb + i) * N + nb
+              var dst = bufB + i * NB
+              for j = 0, NB do dst[j] = src[j] end
+            end
+            -- pack A[mb : mb+NB, kb : kb+NB]
+            for i = 0, NB do
+              var src = A + (mb + i) * N + kb
+              var dst = bufA + i * NB
+              for j = 0, NB do dst[j] = src[j] end
+            end
+            if kb == 0 then
+              l1_first(bufA, bufB, C + mb * N + nb, NB, NB, N)
+            else
+              l1_accum(bufA, bufB, C + mb * N + nb, NB, NB, N)
+            end
+          end
+        end
+        std.free(bufA)
+        std.free(bufB)
+      end
+    end
+    """, env=dict(elem=elem, NB=NB, l1_first=l1_first, l1_accum=l1_accum,
+                  std=std)).mark_chunked()
+    edges = terra("""
+    terra gemm_edges(C : &elem, A : &elem, B : &elem, N : int64) : {}
+      var N0 = (N / NB) * NB
+      if N0 == N then return end
+      -- k tail for the blocked interior
+      for i = 0, N0 do
+        for k = N0, N do
+          var aik = A[i * N + k]
+          for j = 0, N0 do
+            C[i * N + j] = C[i * N + j] + aik * B[k * N + j]
+          end
+        end
+      end
+      -- bottom edge rows (full k)
+      for i = N0, N do
+        for j = 0, N do
+          var sum = [zeroconst]
+          for k = 0, N do sum = sum + A[i * N + k] * B[k * N + j] end
+          C[i * N + j] = sum
+        end
+      end
+      -- right edge columns above the bottom edge (full k)
+      for i = 0, N0 do
+        for j = N0, N do
+          var sum = [zeroconst]
+          for k = 0, N do sum = sum + A[i * N + k] * B[k * N + j] end
+          C[i * N + j] = sum
+        end
+      end
+    end
+    """, env=dict(elem=elem, NB=NB, zeroconst=_zero(elem)))
+    _start_compile(panels, fma, False)
+    _start_compile(edges, fma, False)
+
+    def gemm(C, A, B, N):
+        N0 = (N // NB) * NB
+        parallel_for(panels, 0, N0, C, A, B, N,
+                     nthreads=default_nthreads(nthreads), grain=NB)
+        if N0 != N:
+            edges(C, A, B, N)
+
+    gemm.panels = panels
+    gemm.edges = edges
+    gemm.NB = NB
+    return gemm
+
+
 def blocked_matmul(NB: int, elem: T.Type = double):
     """The plain cache-blocked (but unvectorized, non-register-blocked)
     baseline — the "Blocked" series of paper Figure 6."""

@@ -88,10 +88,12 @@ class CompiledFunction:
     runtime traps behave exactly like the interpreter's instead of
     SIGFPE/SIGILL-killing the host process."""
 
-    def __init__(self, func, cfn, ftype: T.FunctionType, centry=None):
+    def __init__(self, func, cfn, ftype: T.FunctionType, centry=None,
+                 cchunk=None):
         self.func = func
         self.cfn = cfn
         self.centry = centry
+        self.cchunk = cchunk   # chunked entry (mark_chunked), or None
         self.type = ftype
 
     def __call__(self, *args):
@@ -122,6 +124,84 @@ class CompiledFunction:
             result = self.cfn(*cargs)
             del keep
         return self._from_c(result, ftype.returntype)
+
+    # -- chunked dispatch (repro.parallel) -----------------------------------
+    def chunk_caller(self, *args):
+        """Bind ``args`` once and return a cheap ``run(lo, hi)`` callable
+        executing the kernel's chunked entry over ``[lo, hi)``.
+
+        This is what worker threads invoke: argument conversion (and the
+        keepalives it creates) happens here, on the dispatching thread,
+        so each chunk call is one plain ctypes foreign call — which
+        releases the GIL for its whole duration.  A nonzero trap code is
+        raised as :class:`TrapError` in the calling (worker) thread."""
+        if self.cchunk is None:
+            raise FFIError(
+                f"{self.func.name}() has no chunked entry; call "
+                f"fn.mark_chunked() before its first C compile")
+        ftype = self.type
+        nparams = len(ftype.parameters)
+        if len(args) != nparams:
+            raise FFIError(
+                f"{self.func.name}() takes {nparams} arguments, got {len(args)}")
+        keep: list = []
+        cargs = [self._to_c(value, ty, keep)
+                 for value, ty in zip(args, ftype.parameters)]
+        cchunk = self.cchunk
+        fname = self.func.name
+
+        def run(lo: int, hi: int, _keep=keep):
+            trapcode = ctypes.c_int32(0)
+            cchunk(ctypes.c_int64(lo), ctypes.c_int64(hi), *cargs,
+                   ctypes.byref(trapcode))
+            if trapcode.value:
+                raise TrapError(TRAP_MESSAGES.get(
+                    trapcode.value, f"runtime trap {trapcode.value}"))
+
+        run.kernel_name = fname
+        return run
+
+    def tail_caller(self, nlead: int, *tailargs):
+        """Bind every parameter after the first ``nlead`` (integer)
+        leading ones and return a cheap ``run(*lead)`` callable.
+
+        Orion's strip dispatch uses this: the image buffers convert to
+        pointers once per pipeline call, and each per-worker strip call
+        is then one plain ctypes foreign call (GIL released) with only
+        the ``gsel/wid/ylo/yhi`` scalars built per call."""
+        ftype = self.type
+        params = ftype.parameters
+        if len(tailargs) != len(params) - nlead:
+            raise FFIError(
+                f"{self.func.name}() takes {len(params) - nlead} bound "
+                f"arguments after {nlead} leading ones, got {len(tailargs)}")
+        keep: list = []
+        lead_tys = params[:nlead]
+        cargs = [self._to_c(value, ty, keep)
+                 for value, ty in zip(tailargs, params[nlead:])]
+        centry = self.centry
+        cfn = self.cfn
+        to_c = self._to_c
+
+        def run(*lead, _keep=keep):
+            lkeep: list = []
+            lc = [to_c(value, ty, lkeep)
+                  for value, ty in zip(lead, lead_tys)]
+            if centry is not None:
+                trapcode = ctypes.c_int32(0)
+                centry(*lc, *cargs, ctypes.byref(trapcode))
+                if trapcode.value:
+                    raise TrapError(TRAP_MESSAGES.get(
+                        trapcode.value, f"runtime trap {trapcode.value}"))
+            else:
+                cfn(*lc, *cargs)
+
+        run.kernel_name = self.func.name
+        return run
+
+    def call_chunk(self, lo: int, hi: int, *args):
+        """Run the chunked entry once over ``[lo, hi)`` (serial use)."""
+        self.chunk_caller(*args)(lo, hi)
 
     @staticmethod
     def _to_c(value, ty: T.Type, keep: list):
@@ -235,8 +315,14 @@ class CBackend(Backend):
                 centry.restype = cfn.restype
                 centry.argtypes = list(cfn.argtypes) + \
                     [ctypes.POINTER(ctypes.c_int32)]
+            cchunk = None
+            if getattr(f, "emit_chunk", False):
+                cchunk = getattr(lib, cname + "_chunk")
+                cchunk.restype = None
+                cchunk.argtypes = [ctypes.c_int64, ctypes.c_int64] + \
+                    list(cfn.argtypes) + [ctypes.POINTER(ctypes.c_int32)]
             handle = f._compiled.setdefault(
-                self.name, CompiledFunction(f, cfn, ftype, centry))
+                self.name, CompiledFunction(f, cfn, ftype, centry, cchunk))
             if f is fn:
                 entry_handle = handle
         if entry_handle is None:

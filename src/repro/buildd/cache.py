@@ -35,6 +35,10 @@ DEFAULT_MAX_BYTES = 1 << 30  # 1 GiB
 INDEX_NAME = "buildd-index.json"
 INDEX_VERSION = 1
 
+#: A temp file younger than this is assumed to belong to an in-flight
+#: build (possibly in another process) and is left alone by :meth:`gc`.
+DEFAULT_TEMP_TTL_S = 3600.0
+
 #: length of the hex key used in artifact file names (matches the
 #: pre-buildd runtime so old cache dirs stay recognizable)
 KEY_LEN = 24
@@ -61,13 +65,24 @@ def default_max_bytes() -> int:
 class ArtifactCache:
     """Content-addressed store of compiled shared objects."""
 
+    #: throttle for persisting pure-hit ``last_use`` bumps: save at most
+    #: every this many seconds ...
+    HIT_SAVE_INTERVAL_S = 5.0
+    #: ... unless this many bumps are already pending.
+    HIT_SAVE_MAX_PENDING = 64
+
     def __init__(self, root: Optional[str] = None,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 temp_ttl_s: Optional[float] = None) -> None:
         self.root = os.path.abspath(root or default_root())
         self.max_bytes = default_max_bytes() if max_bytes is None else max_bytes
+        self.temp_ttl_s = DEFAULT_TEMP_TTL_S if temp_ttl_s is None \
+            else temp_ttl_s
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.Lock()
         self._index: Optional[dict] = None  # key -> metadata dict
+        self._pending_hits = 0      # last_use bumps not yet on disk
+        self._last_hit_save = 0.0   # monotonic-ish wall time of last save
 
     # -- keys and paths -----------------------------------------------------
     @staticmethod
@@ -135,6 +150,8 @@ class ArtifactCache:
             with os.fdopen(fd, "w") as f:
                 json.dump(payload, f, indent=0, sort_keys=True)
             os.replace(tmp, self._index_path())
+            self._pending_hits = 0
+            self._last_hit_save = time.time()
         except OSError:
             try:
                 os.unlink(tmp)
@@ -143,7 +160,13 @@ class ArtifactCache:
 
     # -- lookup / publish ---------------------------------------------------
     def lookup(self, key: str) -> Optional[str]:
-        """Path of a cached artifact, or None.  Bumps the LRU clock."""
+        """Path of a cached artifact, or None.  Bumps the LRU clock.
+
+        The bump is persisted (throttled — see :meth:`_maybe_save_hits_locked`)
+        so that a warm-cache process, which never publishes, still refreshes
+        ``last_use`` on disk; otherwise a later ``gc()`` in any process would
+        LRU-evict the hottest artifacts as if they were never used.
+        """
         path = self.artifact_path(key)
         with self._lock:
             entries = self._load_index_locked()
@@ -160,7 +183,25 @@ class ArtifactCache:
                          "created": time.time()}
                 entries[key] = entry
             entry["last_use"] = time.time()
+            self._pending_hits += 1
+            self._maybe_save_hits_locked()
             return path
+
+    def _maybe_save_hits_locked(self) -> None:
+        """Persist pending pure-hit ``last_use`` bumps, batched: the first
+        bump after a load saves immediately, later ones at most every
+        ``HIT_SAVE_INTERVAL_S`` seconds or ``HIT_SAVE_MAX_PENDING`` bumps."""
+        if not self._pending_hits:
+            return
+        if (self._pending_hits >= self.HIT_SAVE_MAX_PENDING
+                or time.time() - self._last_hit_save >= self.HIT_SAVE_INTERVAL_S):
+            self._save_index_locked()
+
+    def flush(self) -> None:
+        """Persist any pending hit-path ``last_use`` bumps right now."""
+        with self._lock:
+            if self._index is not None and self._pending_hits:
+                self._save_index_locked()
 
     def publish(self, key: str, built_path: str, *, source: str = "",
                 flags: Iterable[str] = (),
@@ -220,17 +261,29 @@ class ArtifactCache:
 
     def gc(self) -> dict:
         """Evict over-cap artifacts, drop stale index entries, and delete
-        orphaned temp files; returns a summary."""
+        *orphaned* temp files; returns a summary.
+
+        A temp file younger than ``temp_ttl_s`` may belong to an in-flight
+        build in this or another process — deleting it would make that
+        build's ``os.replace`` publish fail with ENOENT — so only temps
+        older than the threshold are treated as orphans.
+        """
         removed_tmp = 0
+        now = time.time()
         with self._lock:
+            if self._index is not None and self._pending_hits:
+                self._save_index_locked()  # don't drop unsaved LRU bumps
             self._index = None  # force a fresh scan
             entries = self._load_index_locked()
             evicted = self._evict_locked()
             for name in os.listdir(self.root):
                 if name.startswith((".build-", ".src-", ".index-")) \
                         or name.endswith(".so.tmp"):
+                    path = os.path.join(self.root, name)
                     try:
-                        os.unlink(os.path.join(self.root, name))
+                        if now - os.stat(path).st_mtime < self.temp_ttl_s:
+                            continue  # likely an in-flight build's temp
+                        os.unlink(path)
                         removed_tmp += 1
                     except OSError:
                         pass

@@ -73,6 +73,10 @@ class TerraFunction:
         self._typecheck_error: Optional[Exception] = None
         self._compiled: dict[str, object] = {}   # backend name -> handle
         self._pending: dict[str, object] = {}    # backend name -> CompileTicket
+        # when True the C backend emits a `<name>_chunk(lo, hi, args...,
+        # trap*)` twin driving the body's final loop over [lo, hi) — the
+        # dispatch target of repro.parallel (see mark_chunked)
+        self.emit_chunk = False
 
     # -- definition ------------------------------------------------------------
     def define(self, param_symbols: Sequence[Symbol],
@@ -182,6 +186,33 @@ class TerraFunction:
         """Calling from Python JIT-compiles on the default backend and
         converts arguments via the FFI (the paper's LTAPP rule)."""
         return self.compile()(*args)
+
+    # -- parallel dispatch (repro.parallel) ---------------------------------------
+    def mark_chunked(self) -> "TerraFunction":
+        """Request a *chunked* C entry for this loop kernel.
+
+        The C backend then emits, next to the normal entry, a twin
+        ``<name>_chunk(int64 lo, int64 hi, args..., int32* trap)`` that
+        runs only the iterations of the body's **final top-level loop**
+        that fall in ``[lo, hi)`` — the dispatch target
+        :func:`repro.parallel.parallel_for` hands to worker threads.
+
+        Must be called before the function is compiled on the C backend
+        (the mark changes the emitted unit, hence its cache identity).
+        Returns ``self`` so it chains: ``terra(...)(src).mark_chunked()``.
+        """
+        if self.emit_chunk:
+            return self
+        if self.is_external:
+            raise SpecializeError(
+                f"mark_chunked: {self.name!r} is external; chunked entries "
+                f"exist only for Terra-defined loop kernels")
+        if "c" in self._compiled or "c" in self._pending:
+            raise SpecializeError(
+                f"mark_chunked: {self.name!r} is already compiled on the C "
+                f"backend; mark it before the first compile/call")
+        self.emit_chunk = True
+        return self
 
     def getdefinitions(self):
         return [self]

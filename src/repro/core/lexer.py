@@ -188,6 +188,12 @@ class Lexer:
                     self.pos = peek
                     while self.pos < n and _isdigit(src[self.pos]):
                         self.pos += 1
+                else:
+                    # C (and Terra) reject a dangling exponent outright;
+                    # silently lexing `1e` as `1` + identifier `e` hides
+                    # the typo behind a confusing parse error later.
+                    raise self._error(
+                        "malformed number literal (exponent has no digits)")
             text = src[start:self.pos]
             value = float(text) if is_float else int(text)
         suffix = ""

@@ -53,6 +53,22 @@ def blockedloop(N, blocksizes, bodyfn) -> Quote:
     return generatelevel(1, 0, 0, N)
 
 
+def parallel_blockedloop(kernel, N, *args, blocksizes=None,
+                         nthreads: int = 0) -> None:
+    """Dispatch a blocked kernel's outer row loop across worker threads.
+
+    ``kernel`` is a ``mark_chunked()`` Terra function whose body *ends*
+    in a blockedloop nest (the outer ``for i1 = 0, N, blocksizes[0]``
+    loop is the chunked one).  Chunk cuts are aligned to
+    ``blocksizes[0]`` so whole row blocks stay on one worker — the
+    blocking structure, and therefore the per-element arithmetic order,
+    is exactly the serial call's.
+    """
+    from ..parallel import parallel_for
+    grain = blocksizes[0] if blocksizes else 1
+    parallel_for(kernel, 0, N, *args, nthreads=nthreads, grain=grain)
+
+
 def _min_quote(base, extent, limit) -> Quote:
     """The quote ``min(base+extent, limit)`` without needing a Terra min
     function: emitted as an inline conditional via a statements-quote."""

@@ -54,6 +54,48 @@ def DataTable(fields: dict[str, T.Type], layout: str = "AoS",
     return _make_aosoa(fields, uid, block)
 
 
+def map_rows(Table: T.StructType, bodyfn, name: str = "maprows"):
+    """Stage a kernel that applies ``bodyfn`` to every row of a table.
+
+    ``bodyfn(row)`` receives the row-handle *symbol* and returns a quote
+    (or list of quotes) for the per-row body — the same contract as
+    ``blockedloop``'s body generator.  The result is a ``mark_chunked()``
+    Terra function ``f(t : &Table, n : int64)`` whose final loop runs
+    over row indices, so it can be dispatched across workers with
+    :func:`parallel_map_rows` (or :func:`repro.parallel.parallel_for`)
+    as well as called serially.  Rows are independent: the body must
+    only touch its own row for a parallel dispatch to be sound.
+    """
+    from .. import pointer as _pointer, symbol, terra as _terra
+    t = symbol(_pointer(Table), "t")
+    n = symbol(T.int64, "n")
+    i = symbol(T.int64, "i")
+    row = symbol(None, "row")
+    body = bodyfn(row)
+    fn = _terra("""
+    terra([t], [n]) : {}
+      for [i] = 0, [n] do
+        var [row] = [t]:row([i])
+        [body]
+      end
+    end
+    """, env={"t": t, "n": n, "i": i, "row": row, "body": body})
+    fn.name = name
+    return fn.mark_chunked()
+
+
+def parallel_map_rows(kernel, table, nrows: int, *args,
+                      nthreads: int = 0, grain: int = 1) -> None:
+    """Run a :func:`map_rows` kernel over ``table``'s rows in parallel.
+
+    ``table`` is the ``&Table`` cdata pointer, ``nrows`` the row count;
+    extra ``args`` follow the kernel's own extra parameters.  For AoSoA
+    tables pass ``grain=block`` so whole tiles stay on one worker."""
+    from ..parallel import parallel_for
+    parallel_for(kernel, 0, nrows, table, nrows, *args,
+                 nthreads=nthreads, grain=grain)
+
+
 def _make_aos(fields: dict[str, T.Type], uid: int) -> T.StructType:
     Record = struct(f"Record{uid}")
     for name, ftype in fields.items():

@@ -5,9 +5,11 @@ Public surface: ``image``, ``param``, ``stage``, ``min_``/``max_``/
 """
 
 from .lang import (INLINE, LINEBUFFER, MATERIALIZE, POLICIES, Expr, Param,
-                   Stage, clamp, image, max_, min_, param, stage)
+                   Parallel, Stage, clamp, image, max_, min_, parallel,
+                   param, stage)
 from .compile import CompiledStencil, compile_pipeline
 
-__all__ = ["image", "param", "stage", "clamp", "min_", "max_",
+__all__ = ["image", "param", "stage", "clamp", "min_", "max_", "parallel",
            "compile_pipeline", "CompiledStencil", "Expr", "Stage", "Param",
+           "Parallel",
            "MATERIALIZE", "INLINE", "LINEBUFFER", "POLICIES"]

@@ -126,7 +126,8 @@ class CompiledStencil:
 
     def __init__(self, fn, inputs: list[str], outputs: list[str],
                  N: int, P: int, W: int, source: str,
-                 params: list[str] | None = None):
+                 params: list[str] | None = None,
+                 parallel_plan: dict | None = None):
         self.fn = fn
         self.input_names = inputs
         self.output_names = outputs
@@ -135,6 +136,10 @@ class CompiledStencil:
         self.P = P
         self.W = W
         self.source = source
+        #: set for parallel schedules: {"nthreads": NT, "groups":
+        #: [(index, ymin, ymax, warmup_rows), ...]} — the per-group strip
+        #: dispatch executed by __call__
+        self.parallel_plan = parallel_plan
 
     # -- padded-buffer helpers ------------------------------------------------
     def pad(self, array: np.ndarray) -> np.ndarray:
@@ -166,20 +171,111 @@ class CompiledStencil:
             raise TerraError(f"unknown parameters: {unknown}")
         padded = [self.pad(np.asarray(a, dtype=np.float32)) for a in inputs]
         outs = [self.alloc_out() for _ in self.output_names]
-        self.fn(*outs, *padded, *[params[p] for p in self.param_names])
+        self(*outs, *padded, *[params[p] for p in self.param_names])
         if len(outs) == 1:
             return self.unpad(outs[0])
         return tuple(self.unpad(o) for o in outs)
 
     def __call__(self, *padded_buffers):
         """Raw call with pre-padded buffers, outputs first (for
-        benchmarking loops)."""
-        return self.fn(*padded_buffers)
+        benchmarking loops).  Parallel schedules dispatch per-worker
+        strips here; serial schedules call the Terra function directly."""
+        if self.parallel_plan is None:
+            return self.fn(*padded_buffers)
+        return self._run_parallel(padded_buffers)
+
+    _BIG = 1 << 30
+
+    def _run_parallel(self, buffers) -> None:
+        from ..parallel import in_worker, raise_aggregated, run_tasks, \
+            split_range
+        from ..trace.metrics import registry
+        plan = self.parallel_plan
+        nt = plan["nthreads"]
+        BIG = self._BIG
+        # bind the buffers once: every strip call is then one plain
+        # ctypes foreign call with four fresh scalars
+        run = self.fn.compile("c").tail_caller(4, *buffers)
+        if in_worker():
+            # nested dispatch: run the whole pipeline serially inline
+            run(-1, 0, -BIG, BIG)
+            return
+        # alloc warm-up: every group's range clamps empty, so only the
+        # lazy buffer mallocs run — single-threaded, hence race-free
+        run(-1, 0, BIG, -BIG)
+        groups = plan["groups"]
+        per_group = [split_range(ymin, ymax, nt)
+                     for _k, ymin, ymax, _w in groups]
+        nworkers = max((len(s) for s in per_group), default=0)
+        if nworkers <= 1:
+            run(-1, 0, -BIG, BIG)  # degenerate ranges: stay serial
+            return
+        # SPMD shape: ONE pool dispatch per pipeline call; worker ``wid``
+        # walks the groups computing its own strip of each, with a
+        # barrier between groups (consumers of a group's materialized
+        # rows only start once every strip has written them).  A worker
+        # that traps keeps hitting the barriers — its siblings must
+        # never block on a missing participant — and re-raises at the
+        # end, so every non-trapping strip completes (the same partial-
+        # writes-visible shape as a serial trap mid-loop).
+        import threading
+        barrier = threading.Barrier(nworkers)
+        tracing = trace._runtime_active
+
+        def worker(wid):
+            def task():
+                err = None
+                for (k, _ymin, _ymax, _w), strips in zip(groups, per_group):
+                    try:
+                        if wid < len(strips):
+                            s0, s1 = strips[wid]
+                            if tracing:
+                                with trace.span("parallel.chunk:orion",
+                                                cat="exec", group=k,
+                                                lo=s0, hi=s1):
+                                    run(k, wid, s0, s1)
+                            else:
+                                run(k, wid, s0, s1)
+                    except BaseException as exc:
+                        err = err or exc
+                    finally:
+                        barrier.wait()
+                if err is not None:
+                    raise err
+            return task
+
+        with trace.span("orion.parallel", cat="orion", nthreads=nt,
+                        groups=len(groups)):
+            reg = registry()
+            reg.add("parallel.dispatches")
+            reg.add("parallel.chunks", sum(len(s) for s in per_group))
+            errors = run_tasks([worker(w) for w in range(nworkers)],
+                               nthreads=nworkers)
+            raise_aggregated("orion", errors, reg)
+
+
+def _resolve_parallel(parallel) -> int:
+    """The effective worker count a ``parallel=`` argument asks for.
+
+    Accepts a :class:`~repro.orion.lang.Parallel` directive, a bare int
+    (worker count, 0 = auto), or True (auto).  ``REPRO_TERRA_THREADS``
+    overrides whatever was asked (see
+    :func:`repro.parallel.default_nthreads`); a result <= 1 selects the
+    exact serial code path — byte-identical generated C."""
+    if parallel is None or parallel is False:
+        return 0
+    from ..parallel import default_nthreads
+    if isinstance(parallel, lang.Parallel):
+        return default_nthreads(parallel.nthreads)
+    if parallel is True:
+        return default_nthreads(0)
+    return default_nthreads(int(parallel))
 
 
 def compile_pipeline(output, N: int, vectorize: int | bool = False,
                      schedule: Optional[dict] = None,
                      default_policy: str = lang.MATERIALIZE,
+                     parallel=None,
                      ) -> CompiledStencil:
     """Compile an Orion pipeline to a Terra function for N×N images.
 
@@ -187,16 +283,22 @@ def compile_pipeline(output, N: int, vectorize: int | bool = False,
     multi-output pipeline: one fused function filling several buffers).
     ``schedule`` maps stages (or stage names) to policies; unlisted
     stages use their declared ``policy=`` or ``default_policy``.
+    ``parallel`` (a :func:`repro.orion.lang.parallel` directive, an int
+    worker count, or True) splits the scanline loop into per-worker
+    strips dispatched through :mod:`repro.parallel`.
     """
+    nt = _resolve_parallel(parallel)
     with trace.span("orion.compile", cat="orion", N=N,
-                    vectorize=int(vectorize) if vectorize else 0) as sp:
+                    vectorize=int(vectorize) if vectorize else 0,
+                    nthreads=nt) as sp:
         stencil = _compile_pipeline(output, N, vectorize, schedule,
-                                    default_policy)
+                                    default_policy, nt)
         sp.set(stages=len(stencil.input_names) + len(stencil.output_names))
         return stencil
 
 
-def _compile_pipeline(output, N, vectorize, schedule, default_policy):
+def _compile_pipeline(output, N, vectorize, schedule, default_policy,
+                      NT=0):
     outputs = output if isinstance(output, (list, tuple)) else [output]
     out_stages = [lang.as_stage(o, f"out{i}" if len(outputs) > 1 else "out")
                   for i, o in enumerate(outputs)]
@@ -340,22 +442,68 @@ def _compile_pipeline(output, N, vectorize, schedule, default_policy):
     # globals) and are shared between stages whose lifetimes do not
     # overlap — a Jacobi chain of any length needs only two buffers, just
     # like a hand-written solver.
-    _assign_slots(infos, group_order, out_ids, W)
+    _assign_slots(infos, group_order, out_ids, W, NT)
+
+    if NT > 1:
+        _check_parallelizable(group_order)
 
     # -- code generation ----------------------------------------------------------
     src, env, input_names, params = _generate(
-        infos, compute_order, group_order, out_stages, stages, N, P, W, V)
+        infos, compute_order, group_order, out_stages, stages, N, P, W, V,
+        NT)
     fn = terra(src, env=env, filename=f"<orion:{out_stages[0].name}>")
     # submit the native build to the buildd pool now (capturing any active
     # extra_cflags), so compilation overlaps the caller's setup work; the
     # first call of the stencil joins the pending build.
     fn.compile_async()
+    plan = None
+    if NT > 1:
+        plan = {"nthreads": NT,
+                "groups": [(k, *group.y_bounds(N), _warmup_rows(group))
+                           for k, group in enumerate(group_order)]}
     return CompiledStencil(fn, input_names,
                            [s.name for s in out_stages], N, P, W, src,
-                           params)
+                           params, parallel_plan=plan)
 
 
-def _assign_slots(infos, group_order, out_ids, W: int) -> None:
+def _warmup_rows(group: _Group) -> int:
+    """Rows a worker strip re-runs before its own region so every
+    intra-group line buffer is warm when the strip proper starts.
+
+    A consumed linebuffered row depends on producer rows at most
+    ``rows - 1`` loop indices back (that is how the window height is
+    computed), so chains through the group's line buffers span at most
+    the sum of their heights — re-running that many indices, computing
+    *only* linebuffered stages (worker-private windows), rebuilds the
+    exact state the serial loop would have at the strip boundary."""
+    return sum(s.rows for s in group.stages if s.policy == lang.LINEBUFFER)
+
+
+def _check_parallelizable(group_order) -> None:
+    """Strip dispatch recomputes only linebuffered stages during warm-up
+    (shared materialized rows must have exactly one writer — the strip
+    that owns them).  That is sound whenever every intra-group read of a
+    linebuffered stage comes *from* linebuffered producers, inputs, or
+    prior groups — true of every schedule the repo stages.  Reject the
+    remaining shape instead of computing garbage."""
+    for group in group_order:
+        in_group = {id(s) for s in group.stages}
+        for info in group.stages:
+            if info.policy != lang.LINEBUFFER:
+                continue
+            for producer, dx, dy in info.reads:
+                if id(producer) in in_group \
+                        and producer.policy != lang.LINEBUFFER \
+                        and not producer.stage.is_input:
+                    raise TerraError(
+                        f"parallel: linebuffered stage {info.name!r} reads "
+                        f"materialized stage {producer.name!r} fused into "
+                        f"the same group; this shape cannot be strip-"
+                        f"parallelized — materialize {info.name!r} or drop "
+                        f"the parallel directive")
+
+
+def _assign_slots(infos, group_order, out_ids, W: int, NT: int = 0) -> None:
     group_index = {id(g): i for i, g in enumerate(group_order)}
     # birth = own group index; death = last consumer's group index
     events: list[tuple[int, int, _StageInfo]] = []
@@ -370,9 +518,21 @@ def _assign_slots(infos, group_order, out_ids, W: int) -> None:
         events.append((birth, death, info))
     slots: list[dict] = []  # {"size": bytes, "free_at": group index}
     for birth, death, info in sorted(events, key=lambda e: (e[0], e[1])):
+        if NT > 1 and info.policy == lang.LINEBUFFER:
+            # under strip parallelism each worker rolls its own window:
+            # the slot holds NT windows side by side (base + wid*stride)
+            # and is never shared with other stages
+            stride = info.rows * W
+            chosen = {"size": NT * stride * 4, "free_at": len(group_order),
+                      "name": f"slot{len(slots)}", "stride": stride}
+            slots.append(chosen)
+            info.slot = chosen
+            continue
         size = info.rows * W * 4
         chosen = None
         for slot in slots:
+            if "stride" in slot:
+                continue  # private per-worker line buffer, not shareable
             if slot["free_at"] <= birth and slot["size"] >= size:
                 chosen = slot
                 break
@@ -386,7 +546,7 @@ def _assign_slots(infos, group_order, out_ids, W: int) -> None:
 
 
 def _generate(infos, compute_order, group_order, out_stages, stages,
-              N, P, W, V):
+              N, P, W, V, NT=0):
     from .. import fmax, fmin
     float4 = T.vector(T.float32, V) if V else None
     env = {"std": _std, "cstr": _str, "fmin": fmin, "fmax": fmax}
@@ -408,8 +568,14 @@ def _generate(infos, compute_order, group_order, out_stages, stages,
     for info in compute_order:
         find_params(info.inlined_expr)
     out_ids = {s.id for s in out_stages}
+    # strip-dispatch control params (parallel schedules only): gsel
+    # selects one group (-1 = all), [ylo, yhi) is this worker's strip of
+    # loop indices, wid picks its private line-buffer windows
+    par_params = [] if NT <= 1 else [
+        "gsel : int32", "wid : int32", "ylo : int64", "yhi : int64"]
     params = ", ".join(
-        [f"out_{_sanitize(s.name)} : &float" for s in out_stages]
+        par_params
+        + [f"out_{_sanitize(s.name)} : &float" for s in out_stages]
         + [f"in_{_sanitize(s.name)} : &float" for s in inputs]
         + [f"prm_{_sanitize(p)} : float" for p in param_names])
 
@@ -445,16 +611,41 @@ def _generate(infos, compute_order, group_order, out_stages, stages,
             w(f"  var {info.buf} = in_{_sanitize(info.name)}")
         elif info.stage.id in out_ids:
             w(f"  var {info.buf} = out_{_sanitize(info.name)}")
+        elif "stride" in info.slot:
+            # per-worker private line-buffer window
+            w(f"  var {info.buf} = {info.slot['name']}_g"
+              f" + wid * {info.slot['stride']}")
         else:
             w(f"  var {info.buf} = {info.slot['name']}_g")
 
     # group loops ------------------------------------------------------------------
-    for group in group_order:
+    for k, group in enumerate(group_order):
         ymin, ymax = group.y_bounds(N)
-        w(f"  for y = {ymin}, {ymax} do")
-        for info in group.stages:
-            _emit_stage(w, info, N, P, W, V)
-        w("  end")
+        if NT > 1:
+            # one strip of this group: loop indices [ylo, yhi) clamped to
+            # the group's own range, plus a warm-up region of D indices
+            # before ylo that recomputes only linebuffered stages (into
+            # this worker's private windows) so the buffers hold exactly
+            # the serial loop's state when the strip proper begins
+            D = _warmup_rows(group)
+            w(f"  if gsel < 0 or gsel == {k} then")
+            w(f"    var y0 : int64 = {ymin}")
+            w(f"    var y1 : int64 = {ymax}")
+            w("    if yhi < y1 then y1 = yhi end")
+            w(f"    var yw : int64 = ylo - {D}")
+            w("    if yw > y0 then y0 = yw end")
+            w("    for y = y0, y1 do")
+            for info in group.stages:
+                _emit_stage(w, info, N, P, W, V,
+                            guard_warmup=(D > 0 and
+                                          info.policy != lang.LINEBUFFER))
+            w("    end")
+            w("  end")
+        else:
+            w(f"  for y = {ymin}, {ymax} do")
+            for info in group.stages:
+                _emit_stage(w, info, N, P, W, V)
+            w("  end")
     w("end")
     return "\n".join(lines), env, input_names, param_names
 
@@ -487,13 +678,19 @@ def _valid_rows(info: _StageInfo, N: int) -> tuple[int, int]:
     return -info.ey, N + info.ey
 
 
-def _emit_stage(w, info: _StageInfo, N: int, P: int, W: int, V: int) -> None:
+def _emit_stage(w, info: _StageInfo, N: int, P: int, W: int, V: int,
+                guard_warmup: bool = False) -> None:
     lead = info.lead
     lo, hi = -info.ey, N + info.ey
     xlo, xhi = -info.ex, N + info.ex
     w("    do")
     w(f"      var r = y + {lead}")
-    w(f"      if r >= {lo} and r < {hi} then")
+    cond = f"r >= {lo} and r < {hi}"
+    if guard_warmup:
+        # warm-up indices (y < ylo) belong to the neighbouring strip:
+        # shared rows must keep exactly one writer
+        cond += " and y >= ylo"
+    w(f"      if {cond} then")
     # row pointers for every (producer, dy) this stage reads
     rowptrs: dict[tuple[int, int], str] = {}
     for producer, dx, dy in info.reads:

@@ -2,6 +2,7 @@
 
 import json
 import os
+import time
 
 from repro.buildd.cache import ArtifactCache, INDEX_NAME
 
@@ -79,6 +80,47 @@ class TestEviction:
         assert cache.summary()["artifacts"] == 2
 
 
+class TestHitPersistence:
+    def _disk_last_use(self, cache, key):
+        return json.load(open(cache._index_path()))["entries"][key]["last_use"]
+
+    def test_warm_process_hits_reach_disk(self, tmp_path):
+        """Regression: lookup() bumped last_use only in memory, so a
+        warm-cache process (all hits, zero publishes) persisted nothing —
+        a later gc() evicted the hottest artifacts as if they were cold."""
+        writer = make_cache(tmp_path)
+        publish(writer, "hot", b"x")
+        stamped = self._disk_last_use(writer, "hot")
+        time.sleep(0.05)
+        warm = ArtifactCache(root=writer.root)  # a second, warm process
+        assert warm.lookup("hot") is not None   # pure hit, never publishes
+        assert self._disk_last_use(warm, "hot") > stamped
+
+    def test_cross_process_lru_respects_warm_hits(self, tmp_path):
+        writer = make_cache(tmp_path, max_bytes=250)
+        publish(writer, "hot", b"x" * 100)
+        time.sleep(0.02)
+        publish(writer, "cold", b"x" * 100)
+        time.sleep(0.02)
+        warm = ArtifactCache(root=writer.root, max_bytes=250)
+        assert warm.lookup("hot") is not None  # hot is now the most recent
+        evictor = ArtifactCache(root=writer.root, max_bytes=250)
+        publish(evictor, "new", b"x" * 100)    # over cap: evict the true LRU
+        assert evictor.lookup("cold") is None
+        assert evictor.lookup("hot") is not None
+
+    def test_hit_saves_are_throttled_and_flushable(self, tmp_path):
+        cache = make_cache(tmp_path)
+        publish(cache, "k1", b"x")
+        first = self._disk_last_use(cache, "k1")
+        cache.lookup("k1")                     # publish just saved: throttled
+        time.sleep(0.05)
+        cache.lookup("k1")                     # still within the window
+        assert self._disk_last_use(cache, "k1") == first
+        cache.flush()
+        assert self._disk_last_use(cache, "k1") > first
+
+
 class TestRecovery:
     def test_corrupted_index_is_rebuilt(self, tmp_path):
         cache = make_cache(tmp_path)
@@ -106,12 +148,35 @@ class TestRecovery:
     def test_gc_removes_orphan_temps(self, tmp_path):
         cache = make_cache(tmp_path)
         publish(cache, "k1", b"data")
-        stray = cache.make_temp()  # an abandoned build temp
+        stray = cache.make_temp()  # an abandoned build temp ...
+        old = time.time() - 2 * cache.temp_ttl_s
+        os.utime(stray, (old, old))  # ... old enough to be an orphan
         assert os.path.exists(stray)
         out = cache.gc()
         assert not os.path.exists(stray)
         assert out["artifacts"] == 1
         assert cache.lookup("k1") is not None
+
+    def test_gc_spares_fresh_inflight_temps(self, tmp_path):
+        """Regression: gc() used to unlink *every* temp file, including one
+        a concurrent in-flight build was still writing — its os.replace
+        publish then failed with ENOENT.  Fresh temps must survive gc."""
+        cache = make_cache(tmp_path)
+        inflight = cache.make_temp()  # another builder is writing this now
+        with open(inflight, "wb") as f:
+            f.write(b"half-writ")
+        out = cache.gc()
+        assert os.path.exists(inflight)
+        assert out["temp_files_removed"] == 0
+        # ... and the in-flight build can still publish atomically
+        cache.publish("k9", inflight)
+        assert cache.lookup("k9") is not None
+
+    def test_gc_temp_ttl_is_configurable(self, tmp_path):
+        cache = make_cache(tmp_path, temp_ttl_s=0.0)
+        stray = cache.make_temp()
+        cache.gc()
+        assert not os.path.exists(stray)
 
     def test_clear(self, tmp_path):
         cache = make_cache(tmp_path)

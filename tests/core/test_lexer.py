@@ -81,6 +81,24 @@ class TestNumbers:
         toks = [t.value for t in tokenize("1..2")[:-1]]
         assert toks[0].value == 1 and toks[1] == ".." and toks[2].value == 2
 
+    def test_dangling_exponent_rejected(self):
+        # Regression: `1e` lexed silently as integer 1 + identifier `e`,
+        # where C and real Terra reject the literal outright.
+        for bad in ("1e", "1e+", "1E-", "2.5e", "1e+ 2"):
+            with pytest.raises(TerraSyntaxError, match="exponent"):
+                tokenize(bad)
+
+    def test_well_formed_exponents_still_lex(self):
+        assert tokenize("1e+2")[0].value == NumberValue(100.0, True, "")
+        assert tokenize("1e-2")[0].value.value == pytest.approx(0.01)
+
+    def test_hex_with_ull_suffix(self):
+        # `0xFFull`: the trailing `ull` is a suffix, never a dangling
+        # exponent (hex `e` is a digit, not an exponent marker)
+        nv = tokenize("0xFFull")[0].value
+        assert nv.value == 255 and nv.suffix == "ull" and not nv.is_float
+        assert tokenize("0xE")[0].value.value == 14
+
 
 class TestStrings:
     def test_simple(self):
