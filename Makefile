@@ -3,10 +3,11 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke trace-demo parallel-smoke bench bench-compile report examples clean
+.PHONY: install test check verify-ir fuzz-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
+SERVE_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-serve-trace.json
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -45,11 +46,20 @@ parallel-smoke:  # parallel == serial at tiny size, then a traced demo (worker l
 	$(PYTHON) -m repro.trace validate $(PARALLEL_TRACE_OUT)
 	@echo "worker-lane trace written to $(PARALLEL_TRACE_OUT) — open in ui.perfetto.dev"
 
+serve-smoke:  # protocol tests, then a self-checking multi-tenant load with a trace
+	$(PYTHON) -m pytest tests/serve -q
+	$(PYTHON) -m repro.serve --smoke --smoke-tenants 4 --trace $(SERVE_TRACE_OUT)
+	$(PYTHON) -m repro.trace validate $(SERVE_TRACE_OUT)
+	@echo "serve trace written to $(SERVE_TRACE_OUT) — open in ui.perfetto.dev"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-compile:  # serial vs. parallel tuner compile wall-clock (buildd)
 	$(PYTHON) -m pytest benchmarks/test_compile_throughput.py -p no:benchmark -q -s
+
+bench-serve:  # multi-tenant serving throughput + tail latency (writes BENCH_serve.json)
+	$(PYTHON) -m pytest benchmarks/test_serve_throughput.py -p no:benchmark -q -s
 
 bench-shapes:  # the paper-shape assertions (who wins, by how much)
 	$(PYTHON) -m pytest benchmarks/ -p no:benchmark -q -k "shape or correctness or results or identical or agree"

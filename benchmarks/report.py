@@ -202,6 +202,9 @@ def main() -> None:
     parser.add_argument("--only", choices=["fig6", "fluid", "area",
                                            "pointwise", "dispatch", "fig9"],
                         help="run a single experiment")
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_report.json "
+                             "(to REPRO_BENCH_OUT_DIR or the cwd)")
     args = parser.parse_args()
     todo = {
         "fig6": lambda: fig6(args.full),
@@ -211,11 +214,20 @@ def main() -> None:
         "dispatch": dispatch,
         "fig9": lambda: fig9(args.full),
     }
-    if args.only:
-        todo[args.only]()
-        return
-    for fn in todo.values():
-        fn()
+    selected = [args.only] if args.only else list(todo)
+
+    def run_selected() -> None:
+        for name in selected:
+            todo[name]()
+
+    if args.json:
+        from repro.bench.record import recording
+        with recording("report", full=args.full,
+                       experiments=selected) as run:
+            run_selected()
+        print(f"\nresults written to {run.path()}")
+    else:
+        run_selected()
 
 
 if __name__ == "__main__":

@@ -58,6 +58,20 @@ class CompileTicket:
                 self._resolved = True
             return self._value
 
+    async def await_built(self) -> None:
+        """Asyncio hook: wait — without blocking the calling event loop —
+        until the underlying build has finished, so a subsequent
+        ``result()`` never blocks on the compiler (only the cheap binding
+        step remains).  Build *failures* are deliberately not raised here;
+        ``result()`` re-raises them with full context."""
+        if self._resolved or self._future is None:
+            return
+        import asyncio
+        try:
+            await asyncio.wrap_future(self._future)
+        except Exception:
+            pass  # surfaced by result()
+
 
 class Backend:
     """Interface implemented by both execution backends."""

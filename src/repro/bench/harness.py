@@ -49,7 +49,10 @@ class Row:
 
 
 class Table:
-    """A tiny fixed-width results table, printed like the paper's."""
+    """A tiny fixed-width results table, printed like the paper's.
+
+    When a :func:`repro.bench.record.recording` is active, :meth:`show`
+    also lands the table in the run's ``BENCH_<name>.json``."""
 
     def __init__(self, title: str, columns: list[str]):
         self.title = title
@@ -74,6 +77,10 @@ class Table:
     def show(self) -> None:
         print()
         print(self.render())
+        from . import record
+        run = record.current()
+        if run is not None:
+            run.add_table(self.title, self.columns, self.rows)
 
 
 def _fmt(value) -> str:

@@ -62,6 +62,17 @@ def default_max_bytes() -> int:
     return DEFAULT_MAX_BYTES
 
 
+def default_max_entries() -> int:
+    """Entry-count cap (``REPRO_BUILDD_CACHE_ENTRIES``); 0 = unbounded."""
+    raw = os.environ.get("REPRO_BUILDD_CACHE_ENTRIES")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return 0
+
+
 class ArtifactCache:
     """Content-addressed store of compiled shared objects."""
 
@@ -73,11 +84,20 @@ class ArtifactCache:
 
     def __init__(self, root: Optional[str] = None,
                  max_bytes: Optional[int] = None,
-                 temp_ttl_s: Optional[float] = None) -> None:
+                 temp_ttl_s: Optional[float] = None,
+                 max_entries: Optional[int] = None,
+                 namespace_quota: Optional[int] = None) -> None:
         self.root = os.path.abspath(root or default_root())
         self.max_bytes = default_max_bytes() if max_bytes is None else max_bytes
         self.temp_ttl_s = DEFAULT_TEMP_TTL_S if temp_ttl_s is None \
             else temp_ttl_s
+        #: entry-count LRU cap across all namespaces (0 = unbounded)
+        self.max_entries = default_max_entries() if max_entries is None \
+            else max(0, max_entries)
+        #: per-namespace entry quota (0/None = unbounded); namespaces come
+        #: from publish(..., namespace=...) — repro.serve passes tenant ids
+        self.namespace_quota = 0 if namespace_quota is None \
+            else max(0, namespace_quota)
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.Lock()
         self._index: Optional[dict] = None  # key -> metadata dict
@@ -205,20 +225,30 @@ class ArtifactCache:
 
     def publish(self, key: str, built_path: str, *, source: str = "",
                 flags: Iterable[str] = (),
-                compile_s: Optional[float] = None) -> str:
+                compile_s: Optional[float] = None,
+                namespace: Optional[str] = None) -> str:
         """Atomically install ``built_path`` (a unique temp file, consumed)
-        as the artifact for ``key``; returns the final path."""
+        as the artifact for ``key``; returns the final path.
+
+        ``namespace`` attributes the entry for the per-namespace quota
+        (multi-tenant churn control); None files it under ``"default"``.
+        """
         final = self.artifact_path(key)
         if source:
             self._write_atomic(self.source_path(key), source)
-        os.replace(built_path, final)
-        size = os.path.getsize(final)
+        # stat before the rename, and rename under the lock: once the final
+        # name exists, a concurrent first-load dir scan would adopt it into
+        # the index (with its temp-file mtime) where eviction could delete
+        # it before *this* thread records the entry
+        size = os.path.getsize(built_path)
         now = time.time()
         with self._lock:
             entries = self._load_index_locked()
+            os.replace(built_path, final)
             entries[key] = {"size": size, "flags": list(flags),
                             "compile_s": compile_s, "created": now,
-                            "last_use": now}
+                            "last_use": now,
+                            "ns": namespace or "default"}
             self._evict_locked()
             self._save_index_locked()
         return final
@@ -239,25 +269,47 @@ class ArtifactCache:
 
     # -- eviction / maintenance ---------------------------------------------
     def _evict_locked(self) -> list[str]:
+        """Apply every configured limit, oldest-``last_use`` first within
+        each: per-namespace entry quotas, then the global entry-count cap,
+        then the byte cap."""
         entries = self._load_index_locked()
-        total = sum(e.get("size", 0) for e in entries.values())
         evicted: list[str] = []
-        if self.max_bytes <= 0 or total <= self.max_bytes:
-            return evicted
-        by_age = sorted(entries.items(),
-                        key=lambda kv: kv[1].get("last_use", 0.0))
-        for key, entry in by_age:
-            if total <= self.max_bytes:
-                break
-            for path in (self.artifact_path(key), self.source_path(key)):
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
-            total -= entry.get("size", 0)
-            del entries[key]
-            evicted.append(key)
+        if self.namespace_quota > 0:
+            by_ns: dict[str, list] = {}
+            for key, entry in entries.items():
+                by_ns.setdefault(entry.get("ns", "default"), []).append(key)
+            for ns_keys in by_ns.values():
+                over = len(ns_keys) - self.namespace_quota
+                if over <= 0:
+                    continue
+                ns_keys.sort(key=lambda k: entries[k].get("last_use", 0.0))
+                for key in ns_keys[:over]:
+                    self._drop_locked(key, entries, evicted)
+        if self.max_entries > 0 and len(entries) > self.max_entries:
+            by_age = sorted(entries,
+                            key=lambda k: entries[k].get("last_use", 0.0))
+            for key in by_age[:len(entries) - self.max_entries]:
+                self._drop_locked(key, entries, evicted)
+        total = sum(e.get("size", 0) for e in entries.values())
+        if self.max_bytes > 0 and total > self.max_bytes:
+            by_age = sorted(entries.items(),
+                            key=lambda kv: kv[1].get("last_use", 0.0))
+            for key, entry in by_age:
+                if total <= self.max_bytes:
+                    break
+                total -= entry.get("size", 0)
+                self._drop_locked(key, entries, evicted)
         return evicted
+
+    def _drop_locked(self, key: str, entries: dict,
+                     evicted: list[str]) -> None:
+        for path in (self.artifact_path(key), self.source_path(key)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        del entries[key]
+        evicted.append(key)
 
     def gc(self) -> dict:
         """Evict over-cap artifacts, drop stale index entries, and delete
@@ -313,5 +365,12 @@ class ArtifactCache:
         with self._lock:
             entries = self._load_index_locked()
             total = sum(e.get("size", 0) for e in entries.values())
+            namespaces: dict[str, int] = {}
+            for e in entries.values():
+                ns = e.get("ns", "default")
+                namespaces[ns] = namespaces.get(ns, 0) + 1
             return {"root": self.root, "artifacts": len(entries),
-                    "bytes_cached": total, "max_bytes": self.max_bytes}
+                    "bytes_cached": total, "max_bytes": self.max_bytes,
+                    "max_entries": self.max_entries,
+                    "namespace_quota": self.namespace_quota,
+                    "namespaces": namespaces}

@@ -29,6 +29,7 @@ import subprocess
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Iterable, Optional
 
 from ..errors import CompileError
@@ -46,6 +47,34 @@ from .stats import BuildStats
 DEFAULT_CFLAGS = ["-O3", "-march=native", "-fPIC", "-shared",
                   "-fno-strict-aliasing", "-fno-semantic-interposition",
                   "-fwrapv", "-ffp-contract=off", "-w"]
+
+
+#: thread-local holding the artifact-cache namespace for builds submitted
+#: by the current thread (see cache_namespace)
+_ns_ctx = threading.local()
+
+
+@contextmanager
+def cache_namespace(namespace: Optional[str]):
+    """Attribute builds submitted inside the block to ``namespace``.
+
+    The namespace travels to :meth:`ArtifactCache.publish`, where it is
+    recorded on the entry and drives the per-namespace entry quota —
+    :mod:`repro.serve` wraps each tenant's compile in
+    ``cache_namespace(tenant_id)`` so one tenant's churn evicts that
+    tenant's artifacts first.  Attribution is advisory: the cache stays
+    content-addressed, so identical source from two namespaces still
+    builds once (owned by whichever submitted first)."""
+    prev = getattr(_ns_ctx, "namespace", None)
+    _ns_ctx.namespace = namespace
+    try:
+        yield
+    finally:
+        _ns_ctx.namespace = prev
+
+
+def current_namespace() -> Optional[str]:
+    return getattr(_ns_ctx, "namespace", None)
 
 
 def default_jobs() -> int:
@@ -120,18 +149,30 @@ class CompileService:
                 return fut
             self.stats.record_submit()
             trace.instant("buildd.submit", cat="buildd", key=key[:12])
-            fut = self._pool.submit(self._build, key, source, flags)
+            fut = self._pool.submit(self._build, key, source, flags,
+                                    current_namespace())
             self._inflight[key] = fut
             return fut
 
+    def compile_asyncio(self, source: str, flags: Iterable[str] = ()):
+        """The asyncio submission hook: schedule a compile from a running
+        event loop and get an *awaitable* resolving to the artifact path.
+        The build itself still runs on the buildd pool; only the waiting
+        moves onto the loop (this is how :mod:`repro.serve` overlaps gcc
+        runs with request handling without tying up a thread)."""
+        import asyncio
+        return asyncio.wrap_future(self.compile_async(source, flags))
+
     # -- the worker ---------------------------------------------------------
-    def _build(self, key: str, source: str, flags: tuple[str, ...]) -> str:
+    def _build(self, key: str, source: str, flags: tuple[str, ...],
+               namespace: Optional[str] = None) -> str:
         with trace.span("buildd.compile", cat="buildd",
                         key=key[:12], source_bytes=len(source)) as sp:
-            return self._build_traced(sp, key, source, flags)
+            return self._build_traced(sp, key, source, flags, namespace)
 
     def _build_traced(self, sp, key: str, source: str,
-                      flags: tuple[str, ...]) -> str:
+                      flags: tuple[str, ...],
+                      namespace: Optional[str] = None) -> str:
         t0 = time.perf_counter()
         try:
             # another process may have published this key since lookup
@@ -159,7 +200,7 @@ class CompileService:
             dt = time.perf_counter() - t0
             size = os.path.getsize(tmp)
             final = self.cache.publish(key, tmp, source=source, flags=flags,
-                                       compile_s=dt)
+                                       compile_s=dt, namespace=namespace)
             self.stats.record_compile(key, dt, size)
             sp.set(artifact_bytes=size)
             return final
@@ -241,7 +282,9 @@ def get_service() -> CompileService:
 
 
 def configure(jobs: Optional[int] = None, cache_root: Optional[str] = None,
-              max_bytes: Optional[int] = None) -> CompileService:
+              max_bytes: Optional[int] = None,
+              max_entries: Optional[int] = None,
+              namespace_quota: Optional[int] = None) -> CompileService:
     """Replace the process-wide service (tests, servers).  The old pool is
     drained first; its cache directory is untouched."""
     global _service
@@ -249,5 +292,7 @@ def configure(jobs: Optional[int] = None, cache_root: Optional[str] = None,
         if _service is not None:
             _service.shutdown(wait=True)
         _service = CompileService(
-            jobs=jobs, cache=ArtifactCache(cache_root, max_bytes))
+            jobs=jobs, cache=ArtifactCache(cache_root, max_bytes,
+                                           max_entries=max_entries,
+                                           namespace_quota=namespace_quota))
         return _service

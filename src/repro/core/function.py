@@ -45,6 +45,9 @@ class _InstallingTicket:
         self._fn._pending.pop(self._name, None)
         return handle
 
+    async def await_built(self) -> None:
+        await self._inner.await_built()
+
 
 class TerraFunction:
     """A Terra function object (the paper's function address ``l``)."""

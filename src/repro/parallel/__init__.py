@@ -49,8 +49,9 @@ from ..errors import TrapError
 from .pool import WorkerPool, get_pool, in_worker, shutdown_pool
 
 __all__ = [
-    "parallel_for", "run_tasks", "split_range", "default_nthreads",
-    "WorkerPool", "get_pool", "shutdown_pool", "in_worker",
+    "parallel_for", "dispatch_chunks", "run_tasks", "split_range",
+    "default_nthreads", "WorkerPool", "get_pool", "shutdown_pool",
+    "in_worker",
 ]
 
 
@@ -150,6 +151,52 @@ def parallel_for(kernel, lo: int, hi: int, *args,
             [_traced_chunk(run, name, c0, c1) for c0, c1 in chunks],
             nthreads=n)
     _account(name, len(chunks), time.perf_counter() - t0, errors)
+
+
+def dispatch_chunks(run, ranges: Sequence[tuple[int, int]],
+                    nthreads: int = 0, name: Optional[str] = None) \
+        -> list[Optional[BaseException]]:
+    """The **batched dispatch entry**: run ``run(lo, hi)`` once per range
+    in one pool round-trip; returns one error slot per range, in order.
+
+    Unlike :func:`parallel_for` (one half-open range, errors aggregated
+    and raised), this never raises for a worker failure: each range's
+    exception — a :class:`TrapError` for a defined runtime trap, anything
+    else for a bug — lands in that range's slot and the other ranges run
+    to completion.  :mod:`repro.serve` coalesces many concurrent requests
+    for the same kernel into one call of this function and maps the slots
+    back onto individual client responses, so a kernel that traps
+    mid-batch fails only the requests whose range trapped.
+    """
+    ranges = list(ranges)
+    if not ranges:
+        return []
+    name = name or getattr(run, "kernel_name", "kernel")
+    n = default_nthreads(nthreads)
+    t0 = time.perf_counter()
+    with _trace.span(f"parallel.batch:{name}", cat="exec", kernel=name,
+                     chunks=len(ranges), nthreads=n):
+        if n <= 1 or len(ranges) == 1 or in_worker():
+            errors: list[Optional[BaseException]] = []
+            for lo, hi in ranges:
+                try:
+                    run(lo, hi)
+                    errors.append(None)
+                except BaseException as exc:
+                    errors.append(exc)
+        else:
+            errors = run_tasks(
+                [_traced_chunk(run, name, lo, hi) for lo, hi in ranges],
+                nthreads=n)
+    from ..trace.metrics import registry
+    reg = registry()
+    reg.add("parallel.dispatches")
+    reg.add("parallel.chunks", len(ranges))
+    reg.record_time("parallel.batch", time.perf_counter() - t0)
+    ntraps = sum(1 for e in errors if isinstance(e, TrapError))
+    if ntraps:
+        reg.add("parallel.traps", ntraps)
+    return errors
 
 
 def _traced_chunk(run, name, lo, hi):

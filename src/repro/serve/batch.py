@@ -1,0 +1,120 @@
+"""Request coalescing: many chunked requests, one ``parallel_for``-style
+dispatch.
+
+When concurrent clients ask for the *same* chunk-marked kernel with the
+*same* arguments but different ``[lo, hi)`` ranges, running each request
+as its own dispatch would pay one worker-pool round-trip (and one
+argument conversion) per request.  The coalescer instead groups them: the
+first arrival opens a batch and schedules a flush (on the next loop tick,
+or after ``window_s`` when a window is configured); every same-key
+arrival in that window joins the batch; the flush converts arguments
+**once**, then drives all ranges through
+:func:`repro.parallel.dispatch_chunks` — one pool round-trip for the
+whole batch.
+
+Error isolation is per range: ``dispatch_chunks`` returns one error slot
+per chunk, so a kernel that traps on request 7's range fails request 7
+with a ``trap`` response while requests 0–6 and 8–N succeed.  (This is
+the serve-level face of the PR 5 guarantee that a worker trap never
+wedges the pool.)
+
+Batch keys include the tenant: two tenants never share a dispatch, even
+for byte-identical kernels — their arguments reference tenant-owned
+buffers anyway, and keeping the batches apart keeps the per-request
+accounting honest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from .. import trace as _trace
+from ..parallel import dispatch_chunks
+from ..trace.metrics import registry
+from .state import WarmKernel
+
+#: flush a batch once it holds this many requests, window or not
+MAX_BATCH = 256
+
+
+class _Batch:
+    """One open group of same-(tenant, kernel, args) chunked requests."""
+
+    __slots__ = ("kernel", "args", "entries", "opened", "flushed")
+
+    def __init__(self, kernel: WarmKernel, args: list):
+        self.kernel = kernel
+        self.args = args
+        self.entries: list[tuple[tuple[int, int], asyncio.Future]] = []
+        self.opened = time.perf_counter()
+        self.flushed = False
+
+
+class Coalescer:
+    """Groups chunked executions by (tenant, kernel, args) identity."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, executor,
+                 window_s: float = 0.0):
+        self._loop = loop
+        self._executor = executor
+        self.window_s = max(0.0, window_s)
+        self._open: dict[tuple, _Batch] = {}
+
+    async def submit(self, batch_key: tuple, kernel: WarmKernel, args: list,
+                     rng: tuple[int, int]) -> Optional[BaseException]:
+        """Queue one chunked execution; resolves to the request's error
+        slot (None on success) once its batch has run."""
+        batch = self._open.get(batch_key)
+        if batch is None:
+            batch = _Batch(kernel, args)
+            self._open[batch_key] = batch
+            if self.window_s > 0:
+                self._loop.call_later(self.window_s, self._flush, batch_key)
+            else:
+                # next-tick flush: every request already readable in this
+                # loop iteration joins the batch before it runs
+                self._loop.call_soon(self._flush, batch_key)
+        fut: asyncio.Future = self._loop.create_future()
+        batch.entries.append((rng, fut))
+        if len(batch.entries) >= MAX_BATCH:
+            self._flush(batch_key)
+        return await fut
+
+    # -- flushing -----------------------------------------------------------
+    def _flush(self, batch_key: tuple) -> None:
+        batch = self._open.pop(batch_key, None)
+        if batch is None or batch.flushed:
+            return
+        batch.flushed = True
+        self._loop.create_task(self._run(batch))
+
+    async def _run(self, batch: _Batch) -> None:
+        ranges = [rng for rng, _ in batch.entries]
+        reg = registry()
+        reg.add("serve.batches")
+        reg.add("serve.batched_requests", len(ranges))
+        reg.track_max("serve.batch_max", len(ranges))
+        try:
+            errors = await self._loop.run_in_executor(
+                self._executor, self._execute, batch.kernel, batch.args,
+                ranges)
+        except BaseException as exc:  # argument conversion failed: fail all
+            for _, fut in batch.entries:
+                if not fut.done():
+                    fut.set_result(exc)
+            return
+        for (_, fut), err in zip(batch.entries, errors):
+            if not fut.done():
+                fut.set_result(err)
+
+    def _execute(self, kernel: WarmKernel, args: list,
+                 ranges: list) -> list:
+        """Executor-thread body: convert arguments once, dispatch every
+        range in one pool round-trip (spans land in this worker's lane)."""
+        with _trace.span(f"serve.batch:{kernel.entry}", cat="serve",
+                         kernel=kernel.entry, key=kernel.key,
+                         requests=len(ranges)):
+            run = kernel.handle.chunk_caller(*args)
+            return dispatch_chunks(run, ranges, name=kernel.entry)

@@ -1,0 +1,240 @@
+"""Per-tenant server state: the warm kernel pool and resident buffers.
+
+**Warm pool.**  A kernel that has been compiled for a tenant stays
+*resident* — its :class:`~repro.core.function.TerraFunction` and compiled
+handle are kept in an LRU-ordered per-tenant pool, so a warm request
+skips the entire parse → specialize → typecheck → emit → buildd path and
+goes straight to one ctypes call.  (buildd's artifact cache already makes
+the *gcc* step free for identical source; the warm pool also makes the
+Python-side staging free, which dominates once artifacts are cached.)
+Each tenant holds at most ``quota`` kernels; inserting beyond that evicts
+the least-recently-used one.  Pools are per-tenant by design: one noisy
+tenant can evict only its own kernels, never a neighbour's — the
+cross-tenant sharing happens one layer down, in the content-addressed
+artifact cache, where identical source still compiles once.
+
+**Buffers.**  Kernels operate on pointers, and pointers cannot cross a
+JSON boundary, so tenants allocate *server-resident* typed buffers
+(``alloc``/``write``/``read``/``free`` ops) and pass ``{"buf": id}``
+where a kernel expects a pointer.  Buffers are ctypes arrays owned by the
+tenant that allocated them; referencing another tenant's buffer id is an
+``unknown-buffer`` error (tenant isolation is by construction: ids are
+looked up in the requesting tenant's table only).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import time
+from collections import OrderedDict
+from typing import Optional
+
+from ..core import types as T
+from .protocol import ServeError
+
+#: JSON dtype name -> (Terra element type, ctypes element type)
+DTYPES = {
+    "int8": (T.int8, ctypes.c_int8),
+    "int16": (T.int16, ctypes.c_int16),
+    "int32": (T.int32, ctypes.c_int32),
+    "int64": (T.int64, ctypes.c_int64),
+    "uint8": (T.uint8, ctypes.c_uint8),
+    "uint16": (T.uint16, ctypes.c_uint16),
+    "uint32": (T.uint32, ctypes.c_uint32),
+    "uint64": (T.uint64, ctypes.c_uint64),
+    "float": (T.float32, ctypes.c_float),
+    "float32": (T.float32, ctypes.c_float),
+    "double": (T.float64, ctypes.c_double),
+    "float64": (T.float64, ctypes.c_double),
+}
+
+#: hard cap on one tenant buffer, independent of every other knob
+MAX_BUFFER_BYTES = 1 << 28  # 256 MiB
+
+
+def kernel_key(source: str, entry: str, chunked: bool, backend: str) -> str:
+    """Identity of one servable kernel: the full staging input."""
+    h = hashlib.sha256()
+    for part in (backend, entry, "chunk" if chunked else "plain", source):
+        h.update(part.encode())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
+
+
+class WarmKernel:
+    """One resident compiled kernel."""
+
+    __slots__ = ("key", "entry", "fn", "handle", "chunked", "hits",
+                 "compile_s", "created", "last_use")
+
+    def __init__(self, key: str, entry: str, fn, handle, chunked: bool,
+                 compile_s: float):
+        self.key = key
+        self.entry = entry
+        self.fn = fn            # the TerraFunction (kept alive with the lib)
+        self.handle = handle    # backend callable handle
+        self.chunked = chunked
+        self.compile_s = compile_s
+        self.hits = 0
+        self.created = time.time()
+        self.last_use = self.created
+
+
+class KernelPool:
+    """An LRU pool of :class:`WarmKernel`, bounded by ``quota``."""
+
+    def __init__(self, quota: int):
+        self.quota = max(1, int(quota))
+        self._kernels: OrderedDict[str, WarmKernel] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[WarmKernel]:
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            self._kernels.move_to_end(key)
+            kernel.hits += 1
+            kernel.last_use = time.time()
+        return kernel
+
+    def put(self, kernel: WarmKernel) -> list[WarmKernel]:
+        """Insert (or refresh) a kernel; returns any evicted ones."""
+        self._kernels[kernel.key] = kernel
+        self._kernels.move_to_end(kernel.key)
+        evicted = []
+        while len(self._kernels) > self.quota:
+            _, old = self._kernels.popitem(last=False)
+            self.evictions += 1
+            evicted.append(old)
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def keys(self) -> list[str]:
+        return list(self._kernels)
+
+
+class Buffer:
+    """A server-resident typed array owned by one tenant."""
+
+    __slots__ = ("id", "dtype", "elem", "cdata", "count")
+
+    def __init__(self, buf_id: int, dtype: str, count: int):
+        elem_terra, elem_ctypes = DTYPES[dtype]
+        self.id = buf_id
+        self.dtype = dtype
+        self.elem = elem_terra
+        self.count = count
+        self.cdata = (elem_ctypes * count)()
+
+    @property
+    def nbytes(self) -> int:
+        return ctypes.sizeof(self.cdata)
+
+
+class TenantState:
+    """Everything the server holds for one tenant id."""
+
+    def __init__(self, name: str, kernel_quota: int):
+        self.name = name
+        self.kernels = KernelPool(kernel_quota)
+        self.buffers: dict[int, Buffer] = {}
+        self._next_buf = 1
+        self.inflight = 0          # admission-controlled concurrent requests
+        self.requests = 0
+
+    # -- buffers ------------------------------------------------------------
+    def alloc(self, dtype: str, count: int) -> Buffer:
+        if dtype not in DTYPES:
+            raise ServeError("bad-request",
+                             f"unknown dtype {dtype!r} (one of: "
+                             f"{', '.join(sorted(DTYPES))})")
+        if count <= 0:
+            raise ServeError("bad-request", f"count must be positive, "
+                                            f"got {count}")
+        _, elem_ctypes = DTYPES[dtype]
+        if count * ctypes.sizeof(elem_ctypes) > MAX_BUFFER_BYTES:
+            raise ServeError("bad-request",
+                             f"buffer of {count} x {dtype} exceeds the "
+                             f"{MAX_BUFFER_BYTES >> 20} MiB per-buffer cap")
+        buf = Buffer(self._next_buf, dtype, count)
+        self._next_buf += 1
+        self.buffers[buf.id] = buf
+        return buf
+
+    def buffer(self, buf_id) -> Buffer:
+        if not isinstance(buf_id, int) or isinstance(buf_id, bool):
+            raise ServeError("bad-request",
+                             f"buffer id must be an integer, got {buf_id!r}")
+        buf = self.buffers.get(buf_id)
+        if buf is None:
+            raise ServeError("unknown-buffer",
+                             f"tenant {self.name!r} owns no buffer {buf_id}")
+        return buf
+
+    def free(self, buf_id: int) -> None:
+        self.buffer(buf_id)
+        del self.buffers[buf_id]
+
+    def write(self, buf_id: int, start: int, values: list) -> int:
+        buf = self.buffer(buf_id)
+        if start < 0 or start + len(values) > buf.count:
+            raise ServeError("bad-request",
+                             f"write [{start}, {start + len(values)}) is out "
+                             f"of bounds for buffer of {buf.count}")
+        integral = buf.elem.isintegral()
+        for i, v in enumerate(values):
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise ServeError("bad-request",
+                                 f"buffer values must be numbers, got "
+                                 f"{type(v).__name__}")
+            buf.cdata[start + i] = int(v) if integral else float(v)
+        return len(values)
+
+    def read(self, buf_id: int, start: int, count: int) -> list:
+        buf = self.buffer(buf_id)
+        if start < 0 or count < 0 or start + count > buf.count:
+            raise ServeError("bad-request",
+                             f"read [{start}, {start + count}) is out of "
+                             f"bounds for buffer of {buf.count}")
+        out = []
+        for i in range(start, start + count):
+            v = buf.cdata[i]
+            if isinstance(v, float) and (v != v or v in (float("inf"),
+                                                         float("-inf"))):
+                out.append({"float": "nan" if v != v
+                            else ("inf" if v > 0 else "-inf")})
+            else:
+                out.append(v)
+        return out
+
+    # -- argument resolution ------------------------------------------------
+    def resolve_args(self, raw_args: list) -> list:
+        """Map wire arguments onto FFI-ready Python values: numbers pass
+        through, ``{"buf": id}`` becomes the tenant's ctypes array (the
+        FFI takes its address), None becomes a null pointer."""
+        out = []
+        for a in raw_args:
+            if a is None or isinstance(a, (bool, int, float, str)):
+                out.append(a)
+            elif isinstance(a, dict) and set(a) == {"buf"}:
+                out.append(self.buffer(a["buf"]).cdata)
+            elif isinstance(a, dict) and set(a) == {"float"}:
+                out.append(float(a["float"]))
+            else:
+                raise ServeError(
+                    "bad-request",
+                    f"argument {a!r} is not a number, string, null, or "
+                    f'{{"buf": id}} reference')
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "kernels": len(self.kernels),
+            "kernel_evictions": self.kernels.evictions,
+            "buffers": len(self.buffers),
+            "buffer_bytes": sum(b.nbytes for b in self.buffers.values()),
+            "inflight": self.inflight,
+            "requests": self.requests,
+        }

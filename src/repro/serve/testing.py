@@ -1,0 +1,88 @@
+"""In-process server harness for tests and the smoke driver.
+
+:class:`ServerThread` runs a :class:`~repro.serve.server.ServeServer` on
+a private event loop in a daemon thread, exposes the bound address once
+the socket is listening, and tears everything down on :meth:`stop`.
+Tests use it so the full socket → asyncio → executor → ctypes path is
+exercised without a subprocess (the throughput benchmark, which *wants*
+process isolation, spawns ``python -m repro.serve`` instead).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from .client import ServeClient
+from .server import ServeConfig, ServeServer
+
+
+class ServerThread:
+    """A live server on a background thread; use as a context manager."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config
+        self.server: Optional[ServeServer] = None
+        self.address: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-loop", daemon=True)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("serve test server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("serve test server failed to start") \
+                from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- conveniences -------------------------------------------------------
+    def client(self, tenant: str = "default", timeout: float = 60.0) \
+            -> ServeClient:
+        assert self.server is not None and self.address is not None
+        cfg = self.server.config
+        if cfg.port is not None:
+            return ServeClient(port=cfg.port, tenant=tenant, timeout=timeout)
+        return ServeClient(socket_path=cfg.socket_path, tenant=tenant,
+                           timeout=timeout)
+
+    def stats(self) -> dict:
+        with self.client() as c:
+            return c.stats()
+
+    # -- the loop thread ----------------------------------------------------
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ServeServer(self.config)
+        try:
+            self.address = await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.close()

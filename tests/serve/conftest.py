@@ -1,0 +1,47 @@
+"""Fixtures for the serve test suite.
+
+``server`` is one module-scoped live server (socket → asyncio →
+executor → ctypes, the real thing); tests that need special knobs
+(tiny admission caps, batch windows, one-kernel pools) start their own
+:class:`~repro.serve.testing.ServerThread` with a custom config.
+"""
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+
+SQ = """
+terra sq(x : double) : double
+  return x * x
+end
+"""
+
+SAXPY = """
+terra saxpy(n : int64, a : double, x : &double, y : &double) : {}
+  for i = 0, n do
+    y[i] = a * x[i] + y[i]
+  end
+end
+"""
+
+#: traps only where a chunk covers i == 7 (1000 / 0)
+POISON = """
+terra poison(n : int64, out : &int64) : {}
+  for i = 0, n do
+    out[i] = 1000 / (i - 7)
+  end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("serve") / "serve.sock")
+    with ServerThread(ServeConfig(socket_path=sock, workers=4)) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with server.client(tenant="t-main") as c:
+        yield c

@@ -1,0 +1,122 @@
+"""Request coalescing: same-kernel chunked requests share one dispatch."""
+
+import threading
+
+from repro.serve import ServeConfig, ServerThread
+from repro.trace.metrics import registry
+
+from .conftest import SAXPY
+
+
+def run_concurrent(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def wrapped(i):
+        try:
+            barrier.wait()
+            fn(i)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestCoalescing:
+    def test_concurrent_same_kernel_chunks_batch_up(self, tmp_path):
+        cfg = ServeConfig(socket_path=str(tmp_path / "b.sock"), workers=4,
+                          batch_window_s=0.1)
+        n, parts = 64, 4
+        with ServerThread(cfg) as srv:
+            with srv.client(tenant="batcher") as c:
+                xs = c.alloc("double", n)
+                ys = c.alloc("double", n)
+                c.write(xs, [float(i) for i in range(n)])
+                c.write(ys, [0.0] * n)
+                c.call(SAXPY, "saxpy",
+                       [1, 0.0, {"buf": xs}, {"buf": ys}],
+                       chunk=(0, 1))  # compile before the timed window
+                c.write(ys, [0.0] * n)
+                args = [n, 2.0, {"buf": xs}, {"buf": ys}]
+                step = n // parts
+                before_b = registry().get("serve.batches")
+                before_r = registry().get("serve.batched_requests")
+
+                def send(i):
+                    with srv.client(tenant="batcher") as cc:
+                        cc.call(SAXPY, "saxpy", args,
+                                chunk=(i * step, (i + 1) * step))
+
+                run_concurrent(parts, send)
+                # all requests ran, in fewer dispatches than requests
+                ran = registry().get("serve.batched_requests") - before_r
+                batches = registry().get("serve.batches") - before_b
+                assert ran == parts
+                assert batches < parts
+                assert registry().get("serve.batch_max") >= 2
+                # and the math is exactly a full-range saxpy
+                assert c.read(ys, n) == [2.0 * i for i in range(n)]
+
+    def test_different_args_never_share_a_batch(self, tmp_path):
+        cfg = ServeConfig(socket_path=str(tmp_path / "b2.sock"), workers=4,
+                          batch_window_s=0.05)
+        n = 16
+        with ServerThread(cfg) as srv:
+            with srv.client(tenant="apart") as c:
+                xs = c.alloc("double", n)
+                ys = c.alloc("double", n)
+                zs = c.alloc("double", n)
+                c.write(xs, [1.0] * n)
+                c.write(ys, [0.0] * n)
+                c.write(zs, [0.0] * n)
+                c.call(SAXPY, "saxpy", [1, 0.0, {"buf": xs}, {"buf": ys}],
+                       chunk=(0, 1))
+                c.write(ys, [0.0] * n)
+                before = registry().get("serve.batches")
+
+                def send(i):
+                    out = ys if i == 0 else zs  # distinct args: no sharing
+                    with srv.client(tenant="apart") as cc:
+                        cc.call(SAXPY, "saxpy",
+                                [n, float(i + 1), {"buf": xs},
+                                 {"buf": out}], chunk=(0, n))
+
+                run_concurrent(2, send)
+                assert registry().get("serve.batches") - before == 2
+                assert c.read(ys, n) == [1.0] * n
+                assert c.read(zs, n) == [2.0] * n
+
+    def test_batches_are_tenant_private(self, tmp_path):
+        # same kernel, same ranges, two tenants: two dispatches
+        cfg = ServeConfig(socket_path=str(tmp_path / "b3.sock"), workers=4,
+                          batch_window_s=0.05)
+        n = 8
+        with ServerThread(cfg) as srv:
+            bufs = {}
+            for tenant in ("red", "blue"):
+                with srv.client(tenant=tenant) as c:
+                    xs = c.alloc("double", n)
+                    ys = c.alloc("double", n)
+                    c.write(xs, [1.0] * n)
+                    c.write(ys, [0.0] * n)
+                    c.call(SAXPY, "saxpy",
+                           [1, 0.0, {"buf": xs}, {"buf": ys}], chunk=(0, 1))
+                    c.write(ys, [0.0] * n)
+                    bufs[tenant] = (xs, ys)
+            before = registry().get("serve.batches")
+
+            def send(i):
+                tenant = ("red", "blue")[i]
+                xs, ys = bufs[tenant]
+                with srv.client(tenant=tenant) as cc:
+                    cc.call(SAXPY, "saxpy",
+                            [n, 1.0, {"buf": xs}, {"buf": ys}], chunk=(0, n))
+
+            run_concurrent(2, send)
+            assert registry().get("serve.batches") - before == 2

@@ -1,0 +1,240 @@
+"""Protocol error paths: every failure is one well-formed error response
+with a code from the closed set — never a hang, never a dead connection
+(except framing errors, where closing is the specified behaviour)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import ServeConfig, ServeError, ServerThread
+
+from .conftest import SQ
+
+
+def call_code(client, *args, **kwargs):
+    """The error code a call produces (fails the test if it succeeds)."""
+    with pytest.raises(ServeError) as ei:
+        client.call(*args, **kwargs)
+    return ei.value.code
+
+
+class TestFraming:
+    def test_malformed_json_line(self, server):
+        with server.client() as c:
+            resp = c.send_raw(b"this is not json\n")
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "bad-json"
+
+    def test_non_object_json_line(self, server):
+        with server.client() as c:
+            resp = c.send_raw(b"[1,2,3]\n")
+        assert resp["error"]["code"] == "bad-json"
+
+    def test_connection_survives_a_bad_request(self, server):
+        # semantic errors don't kill the stream: the same connection works
+        with server.client() as c:
+            resp = c.send_raw(json.dumps({"op": "nope"}).encode() + b"\n")
+            assert resp["error"]["code"] == "unknown-op"
+            assert c.ping()
+
+    def test_oversized_request_line(self, tmp_path):
+        cfg = ServeConfig(socket_path=str(tmp_path / "o.sock"), workers=2,
+                          max_request_bytes=4096)
+        with ServerThread(cfg) as srv:
+            with srv.client() as c:
+                big = json.dumps({"op": "ping", "pad": "x" * 8192})
+                resp = c.send_raw(big.encode() + b"\n")
+                assert resp["error"]["code"] == "oversized"
+                # the stream position is untrustworthy: server closed it
+                with pytest.raises((ConnectionError, OSError)):
+                    c.send_raw(b'{"op":"ping"}\n')
+            # new connections are unaffected
+            with srv.client() as c2:
+                assert c2.ping()
+
+
+class TestRequestValidation:
+    def test_unknown_op(self, server):
+        with server.client() as c:
+            with pytest.raises(ServeError) as ei:
+                c.request({"op": "teleport"})
+            assert ei.value.code == "unknown-op"
+
+    def test_missing_required_fields(self, server):
+        with server.client() as c:
+            with pytest.raises(ServeError) as ei:
+                c.request({"op": "call", "entry": "f"})  # no source
+            assert ei.value.code == "bad-request"
+
+    def test_ill_typed_fields(self, server):
+        with server.client() as c:
+            with pytest.raises(ServeError) as ei:
+                c.request({"op": "call", "source": 42, "entry": "f"})
+            assert ei.value.code == "bad-request"
+
+    def test_bad_chunk_shape(self, server):
+        with server.client() as c:
+            with pytest.raises(ServeError) as ei:
+                c.request({"op": "call", "source": SQ, "entry": "sq",
+                           "args": [1.0], "chunk": [0]})
+            assert ei.value.code == "bad-request"
+
+
+class TestCompileAndEntryErrors:
+    def test_syntax_error_is_compile_error(self, client):
+        assert call_code(client, "terra broken(", "broken") == \
+            "compile-error"
+
+    def test_type_error_is_compile_error(self, client):
+        src = """
+        terra bad(x : int) : int
+          return x + "a string"
+        end
+        """
+        assert call_code(client, src, "bad", [1]) == "compile-error"
+
+    def test_unknown_entry_lists_what_was_defined(self, client):
+        with pytest.raises(ServeError) as ei:
+            client.call(SQ, "missing", [1.0])
+        assert ei.value.code == "unknown-entry"
+        assert "sq" in str(ei.value)
+
+    def test_sandboxed_environment_hides_server_names(self, client):
+        # tenant source cannot capture the server's modules by name
+        src = """
+        terra leak() : int
+          return [os.getpid()]
+        end
+        """
+        assert call_code(client, src, "leak") == "compile-error"
+
+    def test_wrong_arity_is_bad_request(self, client):
+        assert call_code(client, SQ, "sq", [1.0, 2.0]) == "bad-request"
+
+    def test_unsupported_return_type(self, client):
+        src = """
+        terra identity(p : &double) : &double
+          return p
+        end
+        """
+        buf = client.alloc("double", 2)
+        assert call_code(client, src, "identity", [{"buf": buf}]) == \
+            "unsupported"
+        client.free(buf)
+
+
+class TestRuntimeTraps:
+    def test_trap_maps_to_the_trap_code(self, client):
+        src = """
+        terra div(a : int, b : int) : int
+          return a / b
+        end
+        """
+        assert client.call(src, "div", [10, 2]) == 5
+        assert call_code(client, src, "div", [1, 0]) == "trap"
+
+    def test_trap_mid_batch_fails_only_the_affected_request(self, tmp_path):
+        """Two coalesced chunked requests: the range covering the poison
+        iterate gets ``trap``; the other completes with its writes."""
+        from .conftest import POISON
+        cfg = ServeConfig(socket_path=str(tmp_path / "p.sock"), workers=4,
+                          batch_window_s=0.1)
+        n = 16
+        with ServerThread(cfg) as srv:
+            with srv.client(tenant="traps") as c:
+                out = c.alloc("int64", n)
+                c.write(out, [0] * n)
+                args = [n, {"buf": out}]
+                barrier = threading.Barrier(2)
+                outcomes = {}
+
+                def chunk_req(lo, hi):
+                    with srv.client(tenant="traps") as cc:
+                        barrier.wait()
+                        try:
+                            cc.call(POISON, "poison", args, chunk=(lo, hi))
+                            outcomes[(lo, hi)] = "ok"
+                        except ServeError as exc:
+                            outcomes[(lo, hi)] = exc.code
+
+                threads = [threading.Thread(target=chunk_req, args=rng)
+                           for rng in [(0, 8), (8, 16)]]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert outcomes[(0, 8)] == "trap"      # covers i == 7
+                assert outcomes[(8, 16)] == "ok"
+                # the healthy chunk's writes landed (1000 // (i-7) in C
+                # truncates toward zero)
+                got = c.read(out, n)
+                assert got[8:] == [1000 // (i - 7) for i in range(8, 16)]
+                # the pool is not wedged: another call still works
+                assert c.call(SQ, "sq", [5.0]) == 25.0
+
+
+class TestAdmissionOverTheWire:
+    SPIN = """
+    terra spin(n : int64) : double
+      var s : double = 0.0
+      for i = 0, n do
+        s = s + 1.0 / (1.0 + s)
+      end
+      return s
+    end
+    """
+    N = 150_000_000  # ~0.5 s of serial dependent FP work
+
+    def test_tenant_over_quota(self, tmp_path):
+        cfg = ServeConfig(socket_path=str(tmp_path / "q.sock"), workers=4,
+                          tenant_concurrency=1, queue_limit=64)
+        with ServerThread(cfg) as srv:
+            with srv.client(tenant="greedy") as warm:
+                warm.call(self.SPIN, "spin", [1])  # compile outside timing
+            started = threading.Event()
+            done = []
+
+            def long_call():
+                with srv.client(tenant="greedy") as c:
+                    started.set()
+                    done.append(c.call(self.SPIN, "spin", [self.N]))
+
+            t = threading.Thread(target=long_call)
+            t.start()
+            started.wait()
+            import time
+            time.sleep(0.1)  # let the long call be admitted
+            with srv.client(tenant="greedy") as c:
+                with pytest.raises(ServeError) as ei:
+                    c.call(self.SPIN, "spin", [1])
+                assert ei.value.code == "tenant-over-quota"
+            # a different tenant is still served while greedy spins
+            with srv.client(tenant="patient") as c:
+                assert c.call(SQ, "sq", [2.0]) == 4.0
+            t.join()
+            assert done and done[0] > 0
+
+    def test_global_overload(self, tmp_path):
+        cfg = ServeConfig(socket_path=str(tmp_path / "g.sock"), workers=4,
+                          tenant_concurrency=8, queue_limit=1)
+        with ServerThread(cfg) as srv:
+            with srv.client(tenant="a") as warm:
+                warm.call(self.SPIN, "spin", [1])
+            started = threading.Event()
+
+            def long_call():
+                with srv.client(tenant="a") as c:
+                    started.set()
+                    c.call(self.SPIN, "spin", [self.N])
+
+            t = threading.Thread(target=long_call)
+            t.start()
+            started.wait()
+            import time
+            time.sleep(0.1)
+            with srv.client(tenant="b") as c:
+                with pytest.raises(ServeError) as ei:
+                    c.call(SQ, "sq", [1.0])
+                assert ei.value.code == "overloaded"
+            t.join()
