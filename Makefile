@@ -3,11 +3,12 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve report examples clean
+.PHONY: install test check verify-ir fuzz-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
 SERVE_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-serve-trace.json
+TIER_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-tier-trace.json
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -26,8 +27,15 @@ test-verbose:
 verify-ir:  # full suite with the IR verifier re-checking after every pass
 	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m pytest tests/ -x -q
 
-fuzz-smoke:  # fixed-seed differential fuzz: both backends x levels 0/1/2
-	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300
+fuzz-smoke:  # fixed-seed differential fuzz: interp/c/tiered x levels 0/1/2
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300 --tiered
+
+tier-smoke:  # exec-layer tests, then a traced tiered demo (tier-up + deopt events)
+	$(PYTHON) -m pytest tests/exec -q
+	REPRO_TERRA_TRACE=1 REPRO_TERRA_TRACE_OUT=$(TIER_TRACE_OUT) \
+		$(PYTHON) -m repro.exec --threshold 4 --calls 12 --sync
+	$(PYTHON) -m repro.trace validate $(TIER_TRACE_OUT)
+	@echo "tier trace written to $(TIER_TRACE_OUT) — open in ui.perfetto.dev"
 
 fuzz:  # open-ended fuzzing; pick a seed, minimize + save any findings
 	$(PYTHON) -m repro.fuzz --seed $$RANDOM --count 1000 --minimize --save findings/

@@ -203,7 +203,8 @@ def main() -> None:
                                            "pointwise", "dispatch", "fig9"],
                         help="run a single experiment")
     parser.add_argument("--json", action="store_true",
-                        help="also write BENCH_report.json "
+                        help="write BENCH_report.json plus one "
+                             "BENCH_<family>.json per experiment family "
                              "(to REPRO_BENCH_OUT_DIR or the cwd)")
     args = parser.parse_args()
     todo = {
@@ -214,20 +215,35 @@ def main() -> None:
         "dispatch": dispatch,
         "fig9": lambda: fig9(args.full),
     }
+    #: experiment -> persisted family name (BENCH_<family>.json)
+    families = {
+        "fig6": "fig6",
+        "fluid": "fig8_fluid",
+        "area": "fig8_area",
+        "pointwise": "pointwise",
+        "dispatch": "dispatch",
+        "fig9": "fig9",
+    }
     selected = [args.only] if args.only else list(todo)
-
-    def run_selected() -> None:
-        for name in selected:
-            todo[name]()
 
     if args.json:
         from repro.bench.record import recording
+        paths = []
+        # recordings stack: every table lands in the umbrella report run
+        # AND its family's own file
         with recording("report", full=args.full,
-                       experiments=selected) as run:
-            run_selected()
-        print(f"\nresults written to {run.path()}")
+                       experiments=selected) as report_run:
+            for name in selected:
+                with recording(families[name], full=args.full) as fam:
+                    todo[name]()
+                paths.append(fam.path())
+        paths.append(report_run.path())
+        print("\nresults written to:")
+        for p in paths:
+            print(f"  {p}")
     else:
-        run_selected()
+        for name in selected:
+            todo[name]()
 
 
 if __name__ == "__main__":

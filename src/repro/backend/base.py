@@ -21,6 +21,7 @@ from typing import Callable, Optional
 import os
 
 from ..errors import CompileError
+from .. import trace as _trace
 
 
 class CompileTicket:
@@ -71,6 +72,33 @@ class CompileTicket:
             await asyncio.wrap_future(self._future)
         except Exception:
             pass  # surfaced by result()
+
+
+class ExecutableHandle:
+    """The uniform Python-callable handle interface both backends bind.
+
+    A handle pairs one Terra function (``self.func``) with one backend's
+    executable form of it (``self.type`` is the function's
+    ``FunctionType``); subclasses implement :meth:`_invoke` over
+    already-supplied argument tuples.  ``__call__`` is shared so the
+    observability hook — one module-attribute check when tracing and
+    profiling are off, spans + profile samples when on — behaves
+    identically on every backend, and so :class:`repro.exec.dispatch.
+    Dispatcher` can treat handles interchangeably when tiering between
+    backends."""
+
+    func = None          # the TerraFunction this handle executes
+    type = None          # its FunctionType
+
+    def __call__(self, *args):
+        # one module-attribute check when observability is off; spans and
+        # profile samples only on the slow path (see repro.trace)
+        if _trace._runtime_active:
+            return _trace.timed_call(self.func, lambda: self._invoke(args))
+        return self._invoke(args)
+
+    def _invoke(self, args):
+        raise NotImplementedError
 
 
 class Backend:

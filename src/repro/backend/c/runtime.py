@@ -26,7 +26,7 @@ from ...core import types as T
 from ...errors import CompileError, FFIError, TrapError
 from ...ffi import convert
 from ...memory import layout
-from ..base import Backend, CompileTicket
+from ..base import Backend, CompileTicket, ExecutableHandle
 from . import abi
 from .emit import CEmitter, TRAP_MESSAGES
 
@@ -78,7 +78,7 @@ def compile_shared(source: str, extra_flags: tuple[str, ...] = ()) -> str:
     return get_service().compile(source, extra_flags)
 
 
-class CompiledFunction:
+class CompiledFunction(ExecutableHandle):
     """A Python-callable handle to one compiled Terra function.
 
     When the unit contains guarded (trappable) operations, ``centry`` is
@@ -96,12 +96,8 @@ class CompiledFunction:
         self.cchunk = cchunk   # chunked entry (mark_chunked), or None
         self.type = ftype
 
-    def __call__(self, *args):
-        # one module-attribute check when observability is off; spans and
-        # profile samples only on the slow path (see repro.trace)
-        if _trace._runtime_active:
-            return _trace.timed_call(self.func, lambda: self._invoke(args))
-        return self._invoke(args)
+    # __call__ (with the shared observability hook) comes from
+    # ExecutableHandle — see repro.backend.base
 
     def _invoke(self, args):
         ftype = self.type
@@ -321,7 +317,7 @@ class CBackend(Backend):
                 cchunk.restype = None
                 cchunk.argtypes = [ctypes.c_int64, ctypes.c_int64] + \
                     list(cfn.argtypes) + [ctypes.POINTER(ctypes.c_int32)]
-            handle = f._compiled.setdefault(
+            handle = f.dispatcher.install(
                 self.name, CompiledFunction(f, cfn, ftype, centry, cchunk))
             if f is fn:
                 entry_handle = handle

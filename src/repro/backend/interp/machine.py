@@ -14,6 +14,7 @@ path.
 
 from __future__ import annotations
 
+import ctypes
 import math
 
 from ... import trace as _trace
@@ -26,7 +27,7 @@ from ...ffi import convert
 from ...memory.allocator import Allocator
 from ...memory.flatmem import Memory
 from ...memory.layout import TypedMemory, pack_value, unpack_value, zero_value
-from ..base import Backend
+from ..base import Backend, ExecutableHandle
 from . import values as V
 from .builtins import BUILTINS
 
@@ -488,7 +489,7 @@ class Machine:
         return V.scalar_cast(result, ty, ty) if ty.isfloat() else result
 
 
-class InterpFunction:
+class InterpFunction(ExecutableHandle):
     """Python-callable handle mirroring CompiledFunction's conversions."""
 
     def __init__(self, func: TerraFunction, machine: Machine):
@@ -496,11 +497,8 @@ class InterpFunction:
         self.machine = machine
         self.type = func.typed.type if func.typed else func.gettype()
 
-    def __call__(self, *args):
-        # same observability hook as the C backend's CompiledFunction
-        if _trace._runtime_active:
-            return _trace.timed_call(self.func, lambda: self._invoke(args))
-        return self._invoke(args)
+    # __call__ (with the shared observability hook) comes from
+    # ExecutableHandle — see repro.backend.base
 
     def _invoke(self, args):
         ftype = self.type
@@ -558,6 +556,16 @@ class InterpFunction:
             machine.memory.write(region.start, raw)
             keep.append(_CopyBack(machine, region, value))
             return region.start
+        if isinstance(value, ctypes.Array):
+            # server-resident buffers (repro.serve) and other ctypes
+            # storage: copy in, mirror writes back out after the call —
+            # same observable behavior as handing the C backend the
+            # array's real address
+            raw = bytes(memoryview(value).cast("B"))
+            region = machine.memory.map_region(max(len(raw), 1), "foreign")
+            machine.memory.write(region.start, raw)
+            keep.append(_CtypesCopyBack(machine, region, value))
+            return region.start
         if isinstance(value, (bytes, bytearray)):
             raw = bytes(value) + b"\x00"
             region = machine.memory.map_region(len(raw), "foreign")
@@ -605,6 +613,16 @@ class _CopyBack:
         self.machine.memory.unmap_region(self.region)
 
 
+class _CtypesCopyBack(_CopyBack):
+    """Copy-out twin of :class:`_CopyBack` for ctypes arrays."""
+
+    def copy_back(self) -> None:
+        size = ctypes.sizeof(self.array)
+        raw = self.machine.memory.read_unchecked(self.region.start, size)
+        ctypes.memmove(self.array, raw, size)
+        self.machine.memory.unmap_region(self.region)
+
+
 def _numpy():
     import numpy
     return numpy
@@ -628,8 +646,8 @@ class InterpBackend(Backend):
     def compile_unit(self, fn, component):
         with _trace.span(f"emit:{fn.name}", cat="emit", backend="interp",
                          component_size=len(component)):
-            handle = InterpFunction(fn, self.machine)
-            fn._compiled.setdefault(self.name, handle)
+            handle = fn.dispatcher.install(
+                self.name, InterpFunction(fn, self.machine))
         return handle
 
     # -- globals ----------------------------------------------------------------

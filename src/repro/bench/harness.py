@@ -78,8 +78,7 @@ class Table:
         print()
         print(self.render())
         from . import record
-        run = record.current()
-        if run is not None:
+        for run in record.active_runs():
             run.add_table(self.title, self.columns, self.rows)
 
 

@@ -96,6 +96,16 @@ def current() -> Optional[BenchRun]:
         return _active[-1] if _active else None
 
 
+def active_runs() -> list[BenchRun]:
+    """Every active run, outermost first.  Nested recordings *stack*: a
+    table shown inside ``recording("report")`` → ``recording("fig6")``
+    lands in both files — the umbrella keeps the complete picture while
+    each family gets its own ``BENCH_<family>.json`` (what
+    ``benchmarks/report.py --json`` writes)."""
+    with _active_lock:
+        return list(_active)
+
+
 @contextmanager
 def recording(name: str, out_dir: Optional[str] = None,
               **meta) -> Iterator[BenchRun]:

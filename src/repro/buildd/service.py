@@ -104,6 +104,7 @@ class CompileService:
         self._inflight: dict[str, Future] = {}
         self._pool = ThreadPoolExecutor(max_workers=self.jobs,
                                         thread_name_prefix="buildd")
+        self._tier_pool: Optional[ThreadPoolExecutor] = None
 
     # -- toolchain ----------------------------------------------------------
     def toolchain(self) -> _toolchain.Toolchain:
@@ -211,6 +212,33 @@ class CompileService:
             with self._lock:
                 self._inflight.pop(key, None)
 
+    # -- tier-up scheduling (repro.exec tiered policy) -----------------------
+    def tier_up(self, label: str, thunk) -> Future:
+        """Schedule a tier-up *staging* job — emit + compile + bind a hot
+        function's C entry (and possibly a respecialized variant) — and
+        return its Future.
+
+        Staging runs on a dedicated single worker (``repro-tierup``), NOT
+        on the compile pool: the job itself blocks on :meth:`compile`
+        futures, so running it on the pool would deadlock at
+        ``REPRO_BUILDD_JOBS=1`` (the job would hold the only worker while
+        waiting for its own gcc run).  One lane also keeps tier-ups from
+        starving interactive compiles."""
+        with self._lock:
+            if self._tier_pool is None:
+                self._tier_pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-tierup")
+            pool = self._tier_pool
+        self.stats.record_tier_up()
+        trace.instant("buildd.tier_up", cat="buildd", fn=label)
+
+        def job():
+            with trace.span(f"exec.tier_up:{label}", cat="exec",
+                            mode="async"):
+                return thunk()
+
+        return pool.submit(job)
+
     # -- one-off builds to a caller-chosen path (saveobj) --------------------
     def compile_to(self, out_path: str, source: str,
                    flags: Iterable[str]) -> str:
@@ -264,6 +292,10 @@ class CompileService:
         return out
 
     def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            tier_pool, self._tier_pool = self._tier_pool, None
+        if tier_pool is not None:
+            tier_pool.shutdown(wait=wait)
         self._pool.shutdown(wait=wait)
 
 

@@ -83,6 +83,10 @@ class BuildStats:
         return int(self.registry.get(_P + "max_queue_depth"))
 
     @property
+    def tier_ups(self) -> int:
+        return int(self.registry.get(_P + "tier_ups"))
+
+    @property
     def recent(self) -> list:
         return self.registry.ring(_P + "recent")
 
@@ -159,6 +163,12 @@ class BuildStats:
             reg.add("fuzz.traps", traps)
             reg.add("fuzz.crashes", crashes)
 
+    def record_tier_up(self) -> None:
+        """One tiered-execution tier-up was scheduled (called by
+        :meth:`~repro.buildd.service.CompileService.tier_up` and the
+        sync path of :class:`repro.exec.policy.TieredPolicy`)."""
+        self.registry.add(_P + "tier_ups")
+
     def record_already_built(self) -> None:
         """A scheduled build found the artifact already published (by
         another process) — not a compile, not a failure."""
@@ -186,6 +196,7 @@ class BuildStats:
                 "compile_seconds": round(self.compile_seconds, 4),
                 "queue_depth": self.queue_depth,
                 "max_queue_depth": self.max_queue_depth,
+                "tier_ups": self.tier_ups,
                 "hit_rate": (self.cache_hits / total) if total else None,
                 "recent_builds": self.recent,
                 "fuzz": {

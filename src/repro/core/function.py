@@ -19,34 +19,12 @@ import itertools
 from typing import Optional, Sequence
 
 from ..errors import SpecializeError, TypeCheckError
+from ..exec.dispatch import Dispatcher
 from . import sast
 from . import types as T
 from .symbols import Symbol
 
 _func_ids = itertools.count(1)
-
-
-class _InstallingTicket:
-    """A CompileTicket wrapper that installs the resolved handle in the
-    function's per-backend cache (so later ``compile()`` calls and direct
-    calls reuse it instead of recompiling)."""
-
-    def __init__(self, fn: "TerraFunction", backend_name: str, inner):
-        self._fn = fn
-        self._name = backend_name
-        self._inner = inner
-
-    def done(self) -> bool:
-        return self._inner.done()
-
-    def result(self, timeout=None):
-        handle = self._inner.result(timeout)
-        handle = self._fn._compiled.setdefault(self._name, handle)
-        self._fn._pending.pop(self._name, None)
-        return handle
-
-    async def await_built(self) -> None:
-        await self._inner.await_built()
 
 
 class TerraFunction:
@@ -74,8 +52,9 @@ class TerraFunction:
         self.typed = None            # TypedFunction after typechecking
         self._type: Optional[T.FunctionType] = None
         self._typecheck_error: Optional[Exception] = None
-        self._compiled: dict[str, object] = {}   # backend name -> handle
-        self._pending: dict[str, object] = {}    # backend name -> CompileTicket
+        # all call/compile state (per-backend handles, pending tickets,
+        # tiering) lives on the dispatcher — see repro.exec
+        self.dispatcher = Dispatcher(self)
         # when True the C backend emits a `<name>_chunk(lo, hi, args...,
         # trap*)` twin driving the body's final loop over [lo, hi) — the
         # dispatch target of repro.parallel (see mark_chunked)
@@ -143,6 +122,20 @@ class TerraFunction:
         return self._type
 
     # -- compilation & calling ---------------------------------------------------
+    # The mechanics live on ``self.dispatcher`` (repro.exec): TerraFunction
+    # keeps only the thin public API.
+
+    @property
+    def _compiled(self) -> dict:
+        """Backend name -> compiled handle (the dispatcher's handle table;
+        kept as a property for backward compatibility)."""
+        return self.dispatcher.handles
+
+    @property
+    def _pending(self) -> dict:
+        """Backend name -> pending CompileTicket (dispatcher state)."""
+        return self.dispatcher.pending
+
     def compile(self, backend=None):
         """Compile (JIT) on ``backend`` and return a callable handle.
 
@@ -150,18 +143,7 @@ class TerraFunction:
         this joins it instead of compiling again — with the flags that
         were in effect at submission time.
         """
-        from ..backend.base import resolve_backend
-        backend = resolve_backend(backend)
-        handle = self._compiled.get(backend.name)
-        if handle is None:
-            ticket = self._pending.pop(backend.name, None)
-            if ticket is not None:
-                handle = ticket.result()
-            else:
-                from .linker import ensure_compiled
-                handle = ensure_compiled(self, backend)
-            handle = self._compiled.setdefault(backend.name, handle)
-        return handle
+        return self.dispatcher.compiled_handle(backend)
 
     def compile_async(self, backend=None):
         """Start compiling on ``backend`` without waiting: the unit is
@@ -172,23 +154,14 @@ class TerraFunction:
         A later :meth:`compile` or direct call joins the pending build, so
         ``fn.compile_async(); ...; fn(x)`` never compiles twice.
         """
-        from ..backend.base import CompileTicket, resolve_backend
-        backend = resolve_backend(backend)
-        handle = self._compiled.get(backend.name)
-        if handle is not None:
-            return CompileTicket.completed(handle)
-        ticket = self._pending.get(backend.name)
-        if ticket is None:
-            from .linker import ensure_compiled_async
-            inner = ensure_compiled_async(self, backend)
-            ticket = _InstallingTicket(self, backend.name, inner)
-            self._pending[backend.name] = ticket
-        return ticket
+        return self.dispatcher.compile_async(backend)
 
     def __call__(self, *args):
-        """Calling from Python JIT-compiles on the default backend and
-        converts arguments via the FFI (the paper's LTAPP rule)."""
-        return self.compile()(*args)
+        """Calling from Python routes through the per-function dispatcher,
+        which consults the process execution policy (:mod:`repro.exec`) —
+        by default: JIT-compile on the default backend and convert
+        arguments via the FFI (the paper's LTAPP rule)."""
+        return self.dispatcher(*args)
 
     # -- parallel dispatch (repro.parallel) ---------------------------------------
     def mark_chunked(self) -> "TerraFunction":
@@ -210,7 +183,7 @@ class TerraFunction:
             raise SpecializeError(
                 f"mark_chunked: {self.name!r} is external; chunked entries "
                 f"exist only for Terra-defined loop kernels")
-        if "c" in self._compiled or "c" in self._pending:
+        if "c" in self.dispatcher.handles or "c" in self.dispatcher.pending:
             raise SpecializeError(
                 f"mark_chunked: {self.name!r} is already compiled on the C "
                 f"backend; mark it before the first compile/call")

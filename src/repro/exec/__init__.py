@@ -1,0 +1,91 @@
+"""repro.exec — the execution-policy layer.
+
+Every :class:`~repro.core.function.TerraFunction` call from Python routes
+through its per-function :class:`~repro.exec.dispatch.Dispatcher`, which
+consults the *process-wide execution policy* chosen here:
+
+=========== =================================================================
+``aot``     compile on first call on the default backend (historical
+            behavior; the default policy)
+``c``       ahead-of-time on the C backend, regardless of the default
+``interp``  ahead-of-time on the reference interpreter
+``tiered``  start interpreted, profile values, tier hot functions up to C
+            in the background, respecialize on observed-stable arguments
+            (guarded, with counted deoptimization)
+=========== =================================================================
+
+Select with ``REPRO_TERRA_EXEC_POLICY`` (read once, at first use), or at
+runtime with :func:`set_policy` / the :func:`policy_override` context
+manager.  Tiered knobs: ``REPRO_TERRA_TIER_THRESHOLD`` (tier-0 calls
+before tier-up, default 10), ``REPRO_TERRA_TIER_SYNC`` (complete
+tier-ups inline — determinism for tests/fuzzing), and
+``REPRO_TERRA_TIER_RESPEC`` (``0`` disables respecialization).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from .dispatch import Dispatcher, TierState
+from .policy import AheadOfTimePolicy, ExecutionPolicy, TieredPolicy
+
+__all__ = [
+    "AheadOfTimePolicy", "Dispatcher", "ExecutionPolicy", "TieredPolicy",
+    "TierState", "current_policy", "make_policy", "policy_override",
+    "set_policy",
+]
+
+POLICY_NAMES = ("aot", "c", "interp", "tiered")
+
+_current: Optional[ExecutionPolicy] = None
+
+
+def make_policy(name: str) -> ExecutionPolicy:
+    """Build a fresh policy object from its name."""
+    if name in ("", "aot", "default"):
+        return AheadOfTimePolicy()
+    if name in ("c", "interp"):
+        return AheadOfTimePolicy(name, name=name)
+    if name == "tiered":
+        return TieredPolicy.from_env()
+    raise ValueError(f"unknown execution policy {name!r} "
+                     f"(available: {', '.join(POLICY_NAMES)})")
+
+
+def current_policy() -> ExecutionPolicy:
+    """The active policy; first use reads ``REPRO_TERRA_EXEC_POLICY``."""
+    global _current
+    if _current is None:
+        _current = make_policy(os.environ.get("REPRO_TERRA_EXEC_POLICY", ""))
+    return _current
+
+
+def set_policy(policy: Union[str, ExecutionPolicy]) -> ExecutionPolicy:
+    """Replace the process-wide policy (by name or instance); returns it."""
+    global _current
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    if not isinstance(policy, ExecutionPolicy):
+        raise TypeError(f"not an execution policy: {policy!r}")
+    _current = policy
+    return policy
+
+
+@contextmanager
+def policy_override(policy: Union[str, ExecutionPolicy]):
+    """Temporarily switch the execution policy::
+
+        with exec.policy_override("tiered"):
+            fn(...)  # tier-0 interp, may tier up
+
+    Yields the active policy object (handy for asserting on its knobs).
+    """
+    global _current
+    prev = _current
+    active = set_policy(policy)
+    try:
+        yield active
+    finally:
+        _current = prev

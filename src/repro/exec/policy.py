@@ -1,0 +1,205 @@
+"""Execution policies — *what runs* when a Terra function is called.
+
+A policy is consulted by :class:`~repro.exec.dispatch.Dispatcher` on
+every Python-level call:
+
+* :class:`AheadOfTimePolicy` — the historical behavior: resolve one
+  backend (the default, or a pinned one) and call its compiled handle.
+* :class:`TieredPolicy` — start interpreted (tier 0) while the value
+  profiler watches arguments; once a function crosses the call-count
+  threshold, schedule a background tier-up through
+  :meth:`repro.buildd.service.CompileService.tier_up` that compiles the
+  generic C entry — and, when the profile shows stable scalar arguments,
+  a guarded respecialized variant with those values spliced as constants
+  (:mod:`repro.exec.respec`).  Calls never block on the compiler (unless
+  ``sync`` is set, which tests and the fuzzer use for determinism); a
+  guard miss at tier 1 is a counted deoptimization that runs the generic
+  entry, so observable behavior is identical at every tier.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .. import trace as _trace
+from ..trace import profile as _profile
+from ..trace.metrics import registry as _registry
+
+
+class ExecutionPolicy:
+    """Decides how one call of ``dispatcher.fn`` executes."""
+
+    name = "abstract"
+
+    def call(self, dispatcher, args):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<policy {self.name}>"
+
+
+class AheadOfTimePolicy(ExecutionPolicy):
+    """Compile on first call, on one backend, and keep calling that
+    handle — the pre-tiering behavior.  ``backend_name=None`` means the
+    process default backend (``REPRO_TERRA_BACKEND`` / autodetect)."""
+
+    def __init__(self, backend_name: Optional[str] = None,
+                 name: Optional[str] = None) -> None:
+        self.backend_name = backend_name
+        self.name = name or (backend_name or "aot")
+
+    def call(self, dispatcher, args):
+        return dispatcher.compiled_handle(self.backend_name)(*args)
+
+
+class TieredPolicy(ExecutionPolicy):
+    """Interp first, C when hot, respecialized when predictable."""
+
+    name = "tiered"
+
+    def __init__(self, threshold: int = 10, sync: bool = False,
+                 respec: bool = True, min_observations: int = 1) -> None:
+        #: tier-0 calls before a tier-up is scheduled
+        self.threshold = max(1, int(threshold))
+        #: complete tier-ups inline instead of in the background — used
+        #: by tests/fuzzing, where determinism beats latency
+        self.sync = bool(sync)
+        #: build guarded constant-spliced variants from stable profiles
+        self.respec = bool(respec)
+        self.min_observations = max(1, int(min_observations))
+        self._cc_checked = False
+        self._cc_ok = False
+
+    @classmethod
+    def from_env(cls) -> "TieredPolicy":
+        def flag(name: str, default: bool) -> bool:
+            raw = os.environ.get(name)
+            if raw is None or raw == "":
+                return default
+            return raw not in ("0", "no", "off", "false")
+        raw = os.environ.get("REPRO_TERRA_TIER_THRESHOLD", "")
+        try:
+            threshold = int(raw) if raw else 10
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TERRA_TIER_THRESHOLD must be an integer, "
+                f"got {raw!r}") from None
+        return cls(threshold=threshold,
+                   sync=flag("REPRO_TERRA_TIER_SYNC", False),
+                   respec=flag("REPRO_TERRA_TIER_RESPEC", True))
+
+    # -- the per-call decision ----------------------------------------------
+    def call(self, dispatcher, args):
+        fn = dispatcher.fn
+        if fn.is_external:
+            # externals have no interpretable body worth tiering; use the
+            # ahead-of-time path on the default backend
+            return dispatcher.compiled_handle(None)(*args)
+        st = dispatcher.tier_state()
+        if st.tier == 0:
+            if not st.failed and st.ticket is None:
+                with st.lock:
+                    if st.tier == 0 and st.ticket is None and not st.failed:
+                        st.calls += 1
+                        _profile.note_args(fn, args)
+                        if st.calls >= self.threshold and self._compiler_ok():
+                            self._begin_tier_up(dispatcher, st)
+            ticket = st.ticket
+            if st.tier == 0 and ticket is not None and ticket.done():
+                with st.lock:
+                    self._finish_tier_up(dispatcher, st)
+            if st.tier == 0:
+                return dispatcher.compiled_handle("interp")(*args)
+        # tier >= 1: guarded respecialized entry when it applies, else the
+        # generic compiled entry
+        rs = st.respec
+        if rs is not None and rs.ready():
+            if rs.matches(args):
+                rs.hits += 1
+                return rs.handle(*args)
+            with st.lock:
+                st.deopts += 1
+            _registry().add("exec.deopt")
+            _trace.instant("exec.deopt", cat="exec", fn=fn.name)
+        return st.generic(*args)
+
+    # -- tier-up machinery ---------------------------------------------------
+    def _compiler_ok(self) -> bool:
+        if not self._cc_checked:
+            from ..buildd import toolchain
+            self._cc_ok = toolchain.cc_available()
+            self._cc_checked = True
+        return self._cc_ok
+
+    def _stage(self, dispatcher):
+        """The tier-up job: compile the generic C entry and, if the value
+        profile supports it, a guarded respecialized variant.  Runs on
+        buildd's tier-up thread (or inline under ``sync``)."""
+        from . import respec as _respec
+        fn = dispatcher.fn
+        generic = dispatcher.compiled_handle("c")
+        specialized = None
+        if self.respec:
+            variant, consts = _respec.respecialize(
+                fn, _profile.arg_stats(fn), self.min_observations)
+            if variant is not None:
+                handle = variant.dispatcher.compiled_handle("c")
+                specialized = _respec.Respecialized(fn, variant, consts,
+                                                    handle=handle)
+                _registry().add("exec.respecialize")
+                _trace.instant("exec.respecialize", cat="exec", fn=fn.name,
+                               variant=variant.name,
+                               consts={str(k): v
+                                       for k, v in consts.items()})
+        return generic, specialized
+
+    def _begin_tier_up(self, dispatcher, st) -> None:
+        """Schedule (or, under ``sync``, run) the tier-up.  Called with
+        ``st.lock`` held and ``st.ticket`` None."""
+        fn = dispatcher.fn
+        from ..buildd import get_service
+        if self.sync:
+            with _trace.span(f"exec.tier_up:{fn.name}", cat="exec",
+                             mode="sync", calls=st.calls):
+                get_service().stats.record_tier_up()
+                try:
+                    st.generic, st.respec = self._stage(dispatcher)
+                except Exception:
+                    st.failed = True
+                    _registry().add("exec.tier_up_failed")
+                    return
+            self._announce(dispatcher, st)
+            return
+        st.ticket = get_service().tier_up(
+            fn.name, lambda: self._stage(dispatcher))
+
+    def _finish_tier_up(self, dispatcher, st) -> None:
+        """Install a completed background tier-up.  Called with
+        ``st.lock`` held; a failed build parks the function at tier 0
+        permanently (calls stay interpreted, semantics unchanged)."""
+        ticket = st.ticket
+        if ticket is None or st.tier != 0:
+            return
+        try:
+            st.generic, st.respec = ticket.result()
+        except Exception:
+            st.failed = True
+            st.ticket = None
+            _registry().add("exec.tier_up_failed")
+            return
+        st.ticket = None
+        self._announce(dispatcher, st)
+
+    def _announce(self, dispatcher, st) -> None:
+        st.tier = 1
+        _registry().add("exec.tier_up")
+        _trace.instant("exec.tier_up", cat="exec", fn=dispatcher.fn.name,
+                       calls=st.calls,
+                       respecialized=st.respec is not None)
+        hook = dispatcher.on_tier_up
+        if hook is not None:
+            try:
+                hook(dispatcher)
+            except Exception:
+                pass  # observability hooks must not break execution

@@ -1,0 +1,213 @@
+"""Profile-guided respecialization — splice observed-stable arguments
+into a staged variant, guarded at entry.
+
+This is the paper's core claim ("staging *is* the optimization
+mechanism") exercised dynamically: tier-0 value profiling
+(:func:`repro.trace.profile.note_args`) finds scalar parameters that hold
+the same value on every observed call — loop trip counts, strides,
+radii — and we build a *variant* function whose specialized tree is the
+original's with those parameter reads replaced by literal
+:class:`~repro.core.sast.SConst` nodes.  The variant compiles through the
+normal pipeline (fold/simplify see real constants, gcc sees fixed trip
+counts it can unroll and vectorize), and the dispatcher calls it only
+when an entry guard re-checks the observed values; a guard miss is a
+counted *deoptimization* that falls back to the generic compiled entry.
+
+Safety rules (a parameter is only spliced when all hold):
+
+* its type is integral or bool — float equality is treacherous
+  (``-0.0 == 0.0``, NaN) and would let a guard pass values the constant
+  does not represent;
+* it is never assigned in the body and never has its address taken —
+  a written parameter is a local variable, not a constant;
+* the guard compares *converted* machine values (`python_to_primitive`),
+  so wrapped out-of-range Python ints guard exactly like they convert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import sast
+from ..core import types as T
+from ..ffi import convert
+
+
+def guardable_type(ty) -> bool:
+    """Types whose equality guard is exact: integral + bool primitives."""
+    return isinstance(ty, T.PrimitiveType) and (ty.isintegral()
+                                                or ty.islogical())
+
+
+# -- body analysis -----------------------------------------------------------
+
+def _param_mutated(node, symbol) -> bool:
+    """True if ``symbol`` is ever assigned or address-taken in ``node``."""
+    if isinstance(node, sast.SAssign):
+        for target in node.lhs:
+            if isinstance(target, sast.SVar) and target.symbol is symbol:
+                return True
+        return any(_param_mutated(getattr(node, f), symbol)
+                   for f in node._fields)
+    if isinstance(node, sast.SUnOp) and node.op == "&":
+        operand = node.operand
+        if isinstance(operand, sast.SVar) and operand.symbol is symbol:
+            return True
+        return _param_mutated(operand, symbol)
+    if isinstance(node, sast.SMethodCall):
+        # obj:m(...) takes obj's address implicitly when resolving methods
+        obj = node.obj
+        if isinstance(obj, sast.SVar) and obj.symbol is symbol:
+            return True
+    if isinstance(node, sast.SNode):
+        return any(_param_mutated(getattr(node, f), symbol)
+                   for f in node._fields)
+    if isinstance(node, (list, tuple)):
+        return any(_param_mutated(x, symbol) for x in node)
+    if isinstance(node, sast.SCtorField):
+        return _param_mutated(node.value, symbol)
+    return False
+
+
+def _substitute(node, symbol, make_const):
+    """Replace every read of ``symbol`` with a fresh constant node."""
+    if isinstance(node, sast.SVar) and node.symbol is symbol:
+        return make_const()
+    if isinstance(node, sast.SNode):
+        for field in node._fields:
+            setattr(node, field,
+                    _substitute(getattr(node, field), symbol, make_const))
+        return node
+    if isinstance(node, list):
+        return [_substitute(x, symbol, make_const) for x in node]
+    if isinstance(node, tuple):
+        return tuple(_substitute(x, symbol, make_const) for x in node)
+    if isinstance(node, sast.SCtorField):
+        node.value = _substitute(node.value, symbol, make_const)
+        return node
+    return node
+
+
+# -- constant selection ------------------------------------------------------
+
+def stable_consts(fn, arg_stats, min_observations: int = 1) -> dict[int, object]:
+    """Pick ``{param index: machine value}`` worth splicing from the value
+    profile (:func:`repro.trace.profile.arg_stats` output).  Only stable,
+    guardable, never-mutated scalar parameters qualify."""
+    if not arg_stats or fn.body is None:
+        return {}
+    consts: dict[int, object] = {}
+    for i, ty in enumerate(fn.param_types):
+        if i >= len(arg_stats):
+            break
+        st = arg_stats[i]
+        if st is None or not st["stable"]:
+            continue
+        if st["observations"] < min_observations:
+            continue
+        if not guardable_type(ty):
+            continue
+        value = st["value"]
+        if not isinstance(value, (bool, int)):
+            continue
+        try:
+            machine = convert.python_to_primitive(value, ty)
+        except Exception:
+            continue
+        if _param_mutated(fn.body, fn.param_symbols[i]):
+            continue
+        consts[i] = machine
+    return consts
+
+
+# -- variant construction ----------------------------------------------------
+
+_variant_ids = {}
+
+
+def specialize_variant(fn, consts: dict[int, object]):
+    """Build an (uncompiled) variant of ``fn`` with the parameters in
+    ``consts`` spliced as literals.  The variant keeps the full parameter
+    list — callers pass the same arguments, the spliced ones are simply
+    ignored — so the generic and specialized entries are drop-in
+    interchangeable.  Returns None when nothing can be spliced."""
+    from ..core.function import TerraFunction
+
+    if not consts or fn.body is None or fn.is_external:
+        return None
+    body = sast.copy_tree(fn.body)
+    for i, machine in consts.items():
+        ty = fn.param_types[i]
+        symbol = fn.param_symbols[i]
+        body = _substitute(
+            body, symbol,
+            lambda m=machine, t=ty: sast.SConst(m, t, fn.location))
+    n = _variant_ids.get(fn.uid, 0) + 1
+    _variant_ids[fn.uid] = n
+    variant = TerraFunction(f"{fn.name}_spec{n}", fn.location)
+    variant.define(list(fn.param_symbols), list(fn.param_types),
+                   fn.declared_rettype, body)
+    return variant
+
+
+class Respecialized:
+    """A guarded specialized variant: the variant function, the guard
+    values, and (once compiled) its handle."""
+
+    __slots__ = ("fn", "variant", "consts", "param_types", "ticket",
+                 "handle", "hits")
+
+    def __init__(self, fn, variant, consts: dict[int, object],
+                 ticket=None, handle=None) -> None:
+        self.fn = fn
+        self.variant = variant
+        self.consts = consts
+        self.param_types = fn.param_types
+        self.ticket = ticket      # in-flight compile of the variant
+        self.handle = handle      # compiled handle once ready
+        self.hits = 0
+
+    def ready(self) -> bool:
+        """True once the variant's compiled handle is available (resolves
+        a finished ticket on the way)."""
+        if self.handle is not None:
+            return True
+        ticket = self.ticket
+        if ticket is not None and ticket.done():
+            try:
+                self.handle = ticket.result()
+            except Exception:
+                self.ticket = None  # variant failed to build; stay generic
+                return False
+            self.ticket = None
+            return True
+        return False
+
+    def matches(self, args) -> bool:
+        """The entry guard: do ``args`` convert to exactly the machine
+        values that were spliced?  Conversion errors guard as a miss (the
+        generic entry then raises the identical FFI error)."""
+        if len(args) != len(self.param_types):
+            return False
+        for i, machine in self.consts.items():
+            try:
+                got = convert.python_to_primitive(args[i],
+                                                  self.param_types[i])
+            except Exception:
+                return False
+            if got != machine:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        state = "ready" if self.handle is not None else "building"
+        return (f"<Respecialized {self.variant.name!r} "
+                f"consts={self.consts} {state} hits={self.hits}>")
+
+
+def respecialize(fn, arg_stats, min_observations: int = 1):
+    """Convenience: pick constants and build the variant in one step.
+    Returns ``(variant, consts)`` or ``(None, {})``."""
+    consts = stable_consts(fn, arg_stats, min_observations)
+    variant = specialize_variant(fn, consts) if consts else None
+    return (variant, consts) if variant is not None else (None, {})

@@ -2,8 +2,15 @@
 
     python -m repro.fuzz --seed 20260806 --count 300
     python -m repro.fuzz --count 50 --backends c --levels 1,2
-    python -m repro.fuzz --replay tests/fuzz/corpus
+    python -m repro.fuzz --count 100 --tiered
+    python -m repro.fuzz --replay tests/fuzz/corpus --tiered
     python -m repro.fuzz --count 200 --minimize --save findings/
+
+``--tiered`` (or ``--backends tiered``) adds the tiered execution
+policy to the matrix: children run with a low synchronous tier-up
+threshold so every program crosses the interp→C tier transition — and
+its respecialization guards — mid-run, checked bitwise against the
+plain backends.
 
 Exit status is 0 when every program agreed across the whole
 backend × pipeline-level matrix, 1 when any divergence, crash, or
@@ -22,11 +29,13 @@ from .runner import (DEFAULT_CONFIGS, DEFAULT_TIMEOUT, executions_diverge,
                      run_differential, run_program)
 
 
-def _parse_configs(backends: str, levels: str) -> list:
+def _parse_configs(backends: str, levels: str, tiered: bool) -> list:
     bs = [b.strip() for b in backends.split(",") if b.strip()]
+    if tiered and "tiered" not in bs:
+        bs.append("tiered")
     lvls = [int(l) for l in levels.split(",") if l.strip()]
     for b in bs:
-        if b not in ("interp", "c"):
+        if b not in ("interp", "c", "tiered"):
             raise SystemExit(f"unknown backend {b!r}")
     for lv in lvls:
         if lv not in (0, 1, 2):
@@ -43,7 +52,10 @@ def main(argv=None) -> int:
     parser.add_argument("--count", type=int, default=100,
                         help="number of programs (default 100)")
     parser.add_argument("--backends", default="interp,c",
-                        help="comma list: interp,c (default both)")
+                        help="comma list: interp,c,tiered (default interp,c)")
+    parser.add_argument("--tiered", action="store_true",
+                        help="also run the tiered execution policy "
+                             "(low-threshold sync tier-up) at each level")
     parser.add_argument("--levels", default="0,1,2",
                         help="comma list of pipeline levels (default 0,1,2)")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
@@ -64,7 +76,7 @@ def main(argv=None) -> int:
         print(f"-- entry: {program.entry}  argsets: {program.argsets}")
         return 0
 
-    configs = _parse_configs(opts.backends, opts.levels)
+    configs = _parse_configs(opts.backends, opts.levels, opts.tiered)
 
     if opts.replay:
         failures = 0

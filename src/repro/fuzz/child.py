@@ -25,6 +25,16 @@ programs under the same isolation.
 The pipeline level is pinned with ``REPRO_TERRA_PIPELINE`` *before*
 :mod:`repro` is imported, so every unit the child compiles — whatever
 backend defaults say — runs at exactly the requested level.
+
+Besides the two real backends, ``--backend tiered`` runs programs
+through the **tiered execution policy** with a deliberately low tier-up
+threshold (``REPRO_TERRA_TIER_THRESHOLD=2`` unless the caller already
+pinned it) and synchronous tier-ups: the first calls of every program
+interpret, then the child tiers up to C — and usually respecializes on
+the profiled constants — *in the middle of the argset loop*.  The
+differential contract is unchanged (bitwise result equality against the
+plain configs), so this config fuzzes exactly the tier-transition and
+guard-fallback seams that no single backend exercises.
 """
 
 from __future__ import annotations
@@ -105,7 +115,15 @@ def _run_program(source: str, entry: str, argsets, backend_name: str):
             fn = ns[entry]
         except TypeError:
             fn = ns
-        handle = fn.compile(get_backend(backend_name))
+        if backend_name == "tiered":
+            # calls route through the tiered policy (pinned via the
+            # environment in main()); force the tier-0 compile now so a
+            # specialize/typecheck failure is a "fatal" here, exactly
+            # like the plain configs, not a per-argset "error"
+            fn.dispatcher.compiled_handle("interp")
+            handle = fn
+        else:
+            handle = fn.compile(get_backend(backend_name))
     except Exception as exc:  # compile-time failure: a finding in itself
         return {"fatal": [type(exc).__name__, str(exc)]}
     outcomes = []
@@ -126,7 +144,8 @@ def _emit(obj) -> None:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.fuzz.child")
-    parser.add_argument("--backend", required=True, choices=["interp", "c"])
+    parser.add_argument("--backend", required=True,
+                        choices=["interp", "c", "tiered"])
     parser.add_argument("--level", required=True, type=int, choices=[0, 1, 2])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--count", type=int, default=0)
@@ -137,6 +156,13 @@ def main(argv=None) -> int:
 
     # pin the pipeline level before repro is imported anywhere
     os.environ["REPRO_TERRA_PIPELINE"] = str(opts.level)
+    if opts.backend == "tiered":
+        # force tier-up in the middle of every program's argset loop:
+        # a low threshold, completed inline so the transition is
+        # deterministic (and crashes stay attributable to one index)
+        os.environ["REPRO_TERRA_EXEC_POLICY"] = "tiered"
+        os.environ["REPRO_TERRA_TIER_SYNC"] = "1"
+        os.environ.setdefault("REPRO_TERRA_TIER_THRESHOLD", "2")
 
     if opts.one:
         spec = json.loads(sys.stdin.read())

@@ -109,7 +109,10 @@ def _chunk_runner(kernel, args) -> Callable[[int, int], None]:
     callable ``f(lo, hi, *args)`` (the portable fallback — correct, but
     it cannot release the GIL)."""
     if getattr(kernel, "is_terra_function", False):
-        kernel = kernel.compile("c")
+        # chunked dispatch is a C-backend feature: resolve the handle
+        # through the kernel's dispatcher (joining any pending async
+        # compile / tier-up) rather than around it
+        kernel = kernel.dispatcher.compiled_handle("c")
     caller = getattr(kernel, "chunk_caller", None)
     if caller is not None:
         return caller(*args)

@@ -344,7 +344,12 @@ class ServeServer:
         backend = self.config.backend
         if chunked:
             backend = "c"  # chunked entries exist only on the C backend
-        key = kernel_key(source, entry, chunked, backend or "default")
+        key_backend = backend or "default"
+        if not chunked and self._tiered_policy():
+            # tiered kernels carry live tier state; keep them apart from
+            # any ahead-of-time compile of the same source
+            key_backend = "tiered"
+        key = kernel_key(source, entry, chunked, key_backend)
         kernel = tenant.kernels.get(key)
         reg = registry()
         if kernel is not None:
@@ -376,36 +381,70 @@ class ServeServer:
         finally:
             self._compiling.pop(compile_key, None)
 
+    @staticmethod
+    def _tiered_policy() -> bool:
+        from ..exec import current_policy
+        return current_policy().name == "tiered"
+
+    def _tier_up_hook(self, tenant: TenantState):
+        """The dispatcher's on_tier_up hook for one tenant's kernels:
+        count and trace each background tier-up (runs on buildd's
+        tier-up thread)."""
+        tenant_name = tenant.name
+
+        def hook(dispatcher):
+            registry().add("serve.tier_up")
+            _trace.instant("serve.tier_up", cat="serve", tenant=tenant_name,
+                           fn=dispatcher.fn.name,
+                           respecialized=dispatcher.tier_info()
+                           ["respecialized"])
+
+        return hook
+
     async def _compile(self, tenant: TenantState, source: str, entry: str,
                        chunked: bool, backend: Optional[str],
                        key: str) -> WarmKernel:
         reg = registry()
         reg.add("serve.compile")
         t0 = time.perf_counter()
+        tiered = not chunked and self._tiered_policy()
 
         def stage():
             """Executor-thread half: everything up to the buildd submit."""
             with _trace.span(f"serve.compile:{entry}", cat="serve",
-                             tenant=tenant.name, key=key, chunked=chunked):
+                             tenant=tenant.name, key=key, chunked=chunked,
+                             tiered=tiered):
                 with _buildd_service.cache_namespace(tenant.name):
                     fn = self._resolve_entry(source, entry)
                     if chunked:
                         fn.mark_chunked()
+                    if tiered:
+                        # tier 0: the warm "handle" is the dispatcher
+                        # itself — calls start interpreted, the tiered
+                        # policy compiles C in the background, and the
+                        # pool entry speeds up in place
+                        dispatcher = fn.dispatcher
+                        dispatcher.on_tier_up = self._tier_up_hook(tenant)
+                        dispatcher.compiled_handle("interp")
+                        return fn, "tiered", None
                     from ..backend.base import resolve_backend
                     be = resolve_backend(backend)
                     return fn, be.name, fn.compile_async(be)
 
         fn, backend_name, ticket = await self._loop.run_in_executor(
             self._exec, stage)
-        # the gcc run is awaited on the loop (buildd's async hook), then
-        # the dlopen/ctypes binding goes back to the executor
-        await ticket.await_built()
-        with _buildd_service.cache_namespace(tenant.name):
-            handle = await self._loop.run_in_executor(self._exec,
-                                                      ticket.result)
+        if ticket is None:
+            handle = fn.dispatcher
+        else:
+            # the gcc run is awaited on the loop (buildd's async hook),
+            # then the dlopen/ctypes binding goes back to the executor
+            await ticket.await_built()
+            with _buildd_service.cache_namespace(tenant.name):
+                handle = await self._loop.run_in_executor(self._exec,
+                                                          ticket.result)
         dt = time.perf_counter() - t0
         reg.record_time("serve.compile", dt)
-        return WarmKernel(key, entry, fn, handle, chunked, dt)
+        return WarmKernel(key, entry, fn, handle, chunked, dt, tiered=tiered)
 
     @staticmethod
     def _resolve_entry(source: str, entry: str):

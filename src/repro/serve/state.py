@@ -63,22 +63,36 @@ def kernel_key(source: str, entry: str, chunked: bool, backend: str) -> str:
 
 
 class WarmKernel:
-    """One resident compiled kernel."""
+    """One resident compiled kernel.
 
-    __slots__ = ("key", "entry", "fn", "handle", "chunked", "hits",
-                 "compile_s", "created", "last_use")
+    ``handle`` is whatever one call invokes: a backend handle under
+    ahead-of-time policies, or the function's
+    :class:`~repro.exec.dispatch.Dispatcher` under the ``tiered``
+    execution policy (``tiered=True``), in which case calls start
+    interpreted and the kernel climbs tiers in place while staying
+    resident in the pool."""
+
+    __slots__ = ("key", "entry", "fn", "handle", "chunked", "tiered",
+                 "hits", "compile_s", "created", "last_use")
 
     def __init__(self, key: str, entry: str, fn, handle, chunked: bool,
-                 compile_s: float):
+                 compile_s: float, tiered: bool = False):
         self.key = key
         self.entry = entry
         self.fn = fn            # the TerraFunction (kept alive with the lib)
-        self.handle = handle    # backend callable handle
+        self.handle = handle    # backend callable handle, or the dispatcher
         self.chunked = chunked
+        self.tiered = tiered
         self.compile_s = compile_s
         self.hits = 0
         self.created = time.time()
         self.last_use = self.created
+
+    def tier_info(self) -> Optional[dict]:
+        """Tiering snapshot for stats, or None for ahead-of-time kernels."""
+        if not self.tiered:
+            return None
+        return self.fn.dispatcher.tier_info()
 
 
 class KernelPool:
@@ -113,6 +127,9 @@ class KernelPool:
 
     def keys(self) -> list[str]:
         return list(self._kernels)
+
+    def values(self) -> list[WarmKernel]:
+        return list(self._kernels.values())
 
 
 class Buffer:
@@ -230,6 +247,17 @@ class TenantState:
         return out
 
     def summary(self) -> dict:
+        tiers = {"tier0": 0, "tier1": 0, "respecialized": 0}
+        for kernel in self.kernels.values():
+            info = kernel.tier_info()
+            if info is None:
+                continue
+            if info["tier"] == 0:
+                tiers["tier0"] += 1
+            else:
+                tiers["tier1"] += 1
+                if info["respecialized"]:
+                    tiers["respecialized"] += 1
         return {
             "kernels": len(self.kernels),
             "kernel_evictions": self.kernels.evictions,
@@ -237,4 +265,5 @@ class TenantState:
             "buffer_bytes": sum(b.nbytes for b in self.buffers.values()),
             "inflight": self.inflight,
             "requests": self.requests,
+            "tiers": tiers,
         }

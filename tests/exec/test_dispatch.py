@@ -1,0 +1,120 @@
+"""Dispatcher + policy-registry unit tests: the state that used to live
+on TerraFunction (compiled handles, pending tickets, backend choice) now
+lives on one per-function Dispatcher, consulted through a process-wide
+execution policy."""
+
+import pytest
+
+from repro import terra
+from repro.exec import (AheadOfTimePolicy, TieredPolicy, current_policy,
+                        make_policy, policy_override, set_policy)
+
+ADD = """
+terra add(a : int32, b : int32) : int32
+  return a + b
+end
+"""
+
+
+def _fresh():
+    return terra(ADD)
+
+
+def test_every_function_owns_a_dispatcher():
+    fn = _fresh()
+    assert fn.dispatcher.fn is fn
+    assert fn.dispatcher.handles == {}
+    assert fn.dispatcher.pending == {}
+
+
+def test_compiled_handle_caches_per_backend():
+    fn = _fresh()
+    h1 = fn.dispatcher.compiled_handle("interp")
+    h2 = fn.dispatcher.compiled_handle("interp")
+    assert h1 is h2
+    assert set(fn.dispatcher.handles) == {"interp"}
+    assert h1(2, 3) == 5
+
+
+def test_install_first_wins():
+    fn = _fresh()
+    handle = fn.dispatcher.compiled_handle("interp")
+    sentinel = object()
+    assert fn.dispatcher.install("interp", sentinel) is handle
+    assert fn.dispatcher.compiled_handle("interp") is handle
+
+
+def test_compile_async_joins_pending(cbackend):
+    fn = _fresh()
+    t1 = fn.dispatcher.compile_async(cbackend)
+    t2 = fn.dispatcher.compile_async(cbackend)
+    assert t1 is t2                      # one in-flight build, not two
+    handle = fn.dispatcher.compiled_handle(cbackend)
+    assert handle is t1.result()
+    assert "c" not in fn.dispatcher.pending   # resolved tickets are popped
+    assert handle(20, 22) == 42
+
+
+def test_function_facade_delegates():
+    """fn.compile / fn() / the _compiled & _pending compat views all hit
+    the same dispatcher state."""
+    fn = _fresh()
+    handle = fn.compile("interp")
+    assert fn._compiled is fn.dispatcher.handles
+    assert fn._pending is fn.dispatcher.pending
+    assert fn._compiled["interp"] is handle
+
+
+def test_tier_info_defaults_without_tier_state():
+    fn = _fresh()
+    assert fn.dispatcher.tier_info() == {
+        "tier": 0, "calls": 0, "respecialized": False, "deopts": 0}
+
+
+# -- the policy registry ------------------------------------------------------
+
+def test_make_policy_names():
+    assert isinstance(make_policy(""), AheadOfTimePolicy)
+    assert make_policy("aot").backend_name is None
+    assert make_policy("c").backend_name == "c"
+    assert make_policy("interp").backend_name == "interp"
+    assert isinstance(make_policy("tiered"), TieredPolicy)
+    with pytest.raises(ValueError, match="unknown execution policy"):
+        make_policy("jit")
+
+
+def test_policy_override_restores():
+    before = current_policy()
+    with policy_override("interp") as p:
+        assert current_policy() is p
+        assert p.name == "interp"
+    assert current_policy() is before
+
+
+def test_set_policy_rejects_non_policies():
+    before = current_policy()
+    try:
+        with pytest.raises(TypeError):
+            set_policy(42)
+    finally:
+        set_policy(before)
+
+
+def test_pinned_policies_agree_bitwise():
+    fn = _fresh()
+    with policy_override("interp"):
+        via_interp = fn(7, -9)
+    with policy_override("c"):
+        via_c = fn(7, -9)
+    assert via_interp == via_c == -2
+
+
+def test_tiered_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TERRA_TIER_THRESHOLD", "3")
+    monkeypatch.setenv("REPRO_TERRA_TIER_SYNC", "1")
+    monkeypatch.setenv("REPRO_TERRA_TIER_RESPEC", "0")
+    p = TieredPolicy.from_env()
+    assert (p.threshold, p.sync, p.respec) == (3, True, False)
+    monkeypatch.setenv("REPRO_TERRA_TIER_THRESHOLD", "many")
+    with pytest.raises(ValueError, match="TIER_THRESHOLD"):
+        TieredPolicy.from_env()

@@ -1,0 +1,104 @@
+"""Respecialization unit tests: value profiling, constant selection
+(safety rules), variant construction, and the entry guard."""
+
+from repro import terra
+from repro.exec import respec
+from repro.trace import profile
+
+SCALE = """
+terra scale(n : int32, k : int32) : int32
+  return n * k
+end
+"""
+
+MUTATES = """
+terra bump(x : int32, y : int32) : int32
+  x = x + 1
+  return x * y
+end
+"""
+
+MIXED = """
+terra mixed(n : int32, a : double, flag : bool) : double
+  if flag then return a * [double](n) end
+  return a
+end
+"""
+
+
+def _profiled(fn, calls):
+    profile.clear_args(fn)
+    for args in calls:
+        profile.note_args(fn, args)
+    return profile.arg_stats(fn)
+
+
+def test_guardable_types():
+    fn = terra(MIXED)
+    n_ty, a_ty, flag_ty = fn.param_types
+    assert respec.guardable_type(n_ty)         # int32
+    assert respec.guardable_type(flag_ty)      # bool
+    assert not respec.guardable_type(a_ty)     # double: -0.0/NaN hazards
+
+
+def test_arg_stats_stability():
+    fn = terra(SCALE)
+    stats = _profiled(fn, [(8, 3), (8, 4), (8, 5)])
+    assert stats[0] == {"observations": 3, "stable": True, "value": 8}
+    assert stats[1]["stable"] is False
+    assert stats[1]["value"] is None
+
+
+def test_stable_consts_picks_only_safe_params():
+    fn = terra(MIXED)
+    # every argument repeats: n and flag qualify, the double never does
+    stats = _profiled(fn, [(6, 2.5, True)] * 3)
+    consts = respec.stable_consts(fn, stats)
+    assert consts == {0: 6, 2: True}
+
+
+def test_stable_consts_rejects_mutated_params():
+    fn = terra(MUTATES)
+    stats = _profiled(fn, [(5, 7), (5, 7)])
+    consts = respec.stable_consts(fn, stats)
+    assert 0 not in consts          # x is assigned in the body
+    assert consts == {1: 7}
+
+
+def test_min_observations_threshold():
+    fn = terra(SCALE)
+    stats = _profiled(fn, [(8, 3)])
+    assert respec.stable_consts(fn, stats, min_observations=2) == {}
+    assert 0 in respec.stable_consts(fn, stats, min_observations=1)
+
+
+def test_variant_is_bit_identical_on_guard_values(backend):
+    fn = terra(SCALE)
+    variant = respec.specialize_variant(fn, {0: 6})
+    assert variant is not None
+    assert variant.name.startswith("scale_spec")
+    # same arity: generic and specialized entries are interchangeable
+    assert len(variant.param_types) == len(fn.param_types)
+    for k in (-3, 0, 41):
+        assert variant.compile(backend)(6, k) == fn.compile(backend)(6, k)
+
+
+def test_guard_compares_converted_machine_values():
+    fn = terra(SCALE)
+    variant = respec.specialize_variant(fn, {0: 6})
+    rs = respec.Respecialized(fn, variant, {0: 6}, handle=lambda *a: None)
+    assert rs.ready()
+    assert rs.matches((6, 99))
+    assert not rs.matches((7, 99))
+    assert not rs.matches((6,))                 # arity mismatch
+    # int32 wraps: 2**32 + 6 converts to the same machine value as 6,
+    # exactly like the generic entry would receive it
+    assert rs.matches((2 ** 32 + 6, 99))
+    assert not rs.matches(("6", 99))            # conversion error = miss
+
+
+def test_varying_args_produce_no_variant():
+    fn = terra(SCALE)
+    stats = _profiled(fn, [(1, 1), (2, 2), (3, 3)])
+    variant, consts = respec.respecialize(fn, stats)
+    assert variant is None and consts == {}

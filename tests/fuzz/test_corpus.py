@@ -41,6 +41,28 @@ def _outcomes(program, backend_name):
     return out
 
 
+def _tiered_outcomes(program):
+    """Run one corpus program under the tiered policy, twice over its
+    argsets: a threshold of 2 with synchronous tier-ups guarantees the
+    interp→C transition (and any respecialization guard) happens in the
+    middle of the first pass, and the second pass runs entirely on
+    tier 1 against warm guards."""
+    from repro.exec import TieredPolicy, policy_override
+    ns = terra(program.source, env=fuzz_env())
+    try:
+        fn = ns[program.entry]
+    except TypeError:
+        fn = ns
+    out = []
+    with policy_override(TieredPolicy(threshold=2, sync=True)):
+        for args in list(program.argsets) * 2:
+            try:
+                out.append({"ok": encode_result(fn(*args))})
+            except TrapError as exc:
+                out.append({"trap": str(exc)})
+    return out
+
+
 def test_corpus_is_not_empty():
     assert len(CORPUS) >= 10
 
@@ -52,6 +74,27 @@ def test_replay_in_process(monkeypatch, name, program, level):
     """Both backends agree bitwise on every entry at every pipeline level."""
     monkeypatch.setenv("REPRO_TERRA_PIPELINE", level)
     assert _outcomes(program, "c") == _outcomes(program, "interp")
+
+
+@pytest.mark.parametrize("name,program", CORPUS,
+                         ids=[name for name, _ in CORPUS])
+@pytest.mark.parametrize("level", ["0", "1", "2"])
+def test_replay_tiered_in_process(monkeypatch, name, program, level):
+    """Every corpus entry stays bit-identical when executed through the
+    tiered policy (forced mid-run tier-up + respecialization guards) at
+    every pipeline level."""
+    monkeypatch.setenv("REPRO_TERRA_PIPELINE", level)
+    assert _tiered_outcomes(program) == _outcomes(program, "interp") * 2
+
+
+def test_replay_tiered_isolated_subprocess():
+    """The crash-isolated child also supports --backend tiered: the
+    entry that used to SIGFPE the host must trap identically across the
+    tier transition."""
+    program = load_entry(os.path.join(CORPUS_DIR, "div-zero-trap.json"))
+    execs = replay_entry(program, configs=[("interp", 1), ("tiered", 1)])
+    assert not executions_diverge(execs), \
+        [(e.config, e.outcome) for e in execs]
 
 
 def test_replay_isolated_subprocess():

@@ -1,0 +1,76 @@
+"""Serving under the tiered execution policy: warm kernels start
+interpreted, tier up in place, and the ``stats`` op reports per-tenant
+tier counts plus the ``serve.tier_up`` counter."""
+
+import pytest
+
+from repro.exec import TieredPolicy, policy_override
+from repro.serve import ServeConfig, ServerThread
+from repro.trace.metrics import registry
+
+SQ = """
+terra sq(x : double) : double
+  return x * x
+end
+"""
+
+AXPY = """
+terra axpy(n : int64, a : double, x : &double) : double
+  var acc : double = 0.0
+  for i = 0, n do
+    x[i] = a * x[i]
+    acc = acc + x[i]
+  end
+  return acc
+end
+"""
+
+
+@pytest.fixture()
+def tiered_server(tmp_path):
+    sock = str(tmp_path / "serve-tiered.sock")
+    with policy_override(TieredPolicy(threshold=2, sync=True)):
+        with ServerThread(ServeConfig(socket_path=sock, workers=2)) as srv:
+            yield srv
+
+
+class TestTieredServing:
+    def test_kernel_climbs_tiers_in_place(self, tiered_server):
+        with tiered_server.client(tenant="t-hot") as c:
+            # identical results on every call, whatever tier executes
+            assert [c.call(SQ, "sq", [3.0]) for _ in range(4)] == [9.0] * 4
+            tiers = c.stats()["tenants"]["t-hot"]["tiers"]
+        assert tiers["tier0"] == 0      # crossed the threshold long ago
+        assert tiers["tier1"] == 1
+        # sq's only parameter is a double — never spliced (float guards
+        # are unsound), so the kernel tiers up without a variant
+        assert tiers["respecialized"] == 0
+
+    def test_tier_counts_and_counter(self, tiered_server):
+        before = registry().get("serve.tier_up")
+        with tiered_server.client(tenant="t-a") as c:
+            buf = c.alloc("float64", 8)
+            c.write(buf, [1.0] * 8)
+            for _ in range(3):
+                c.call(AXPY, "axpy", [8, 1.0, {"buf": buf}])
+            summary = c.stats()["tenants"]["t-a"]
+        assert summary["tiers"]["tier1"] == 1
+        assert registry().get("serve.tier_up") >= before + 1
+
+    def test_cold_kernel_reports_tier0(self, tiered_server):
+        with tiered_server.client(tenant="t-cold") as c:
+            assert c.call(SQ, "sq", [2.0]) == 4.0    # one call: below threshold
+            tiers = c.stats()["tenants"]["t-cold"]["tiers"]
+        assert tiers == {"tier0": 1, "tier1": 0, "respecialized": 0}
+
+
+def test_aot_serving_reports_no_tiers(tmp_path):
+    """Without the tiered policy the summary's tier counts stay zero —
+    warm kernels are plain ahead-of-time handles."""
+    sock = str(tmp_path / "serve-aot.sock")
+    with ServerThread(ServeConfig(socket_path=sock, workers=2)) as srv:
+        with srv.client(tenant="t-plain") as c:
+            for _ in range(4):
+                assert c.call(SQ, "sq", [5.0]) == 25.0
+            summary = c.stats()["tenants"]["t-plain"]
+    assert summary["tiers"] == {"tier0": 0, "tier1": 0, "respecialized": 0}
