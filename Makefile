@@ -3,7 +3,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve report examples clean
+.PHONY: install test check verify-ir fuzz-smoke autovec-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve bench-autovec report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
@@ -29,6 +29,16 @@ verify-ir:  # full suite with the IR verifier re-checking after every pass
 
 fuzz-smoke:  # fixed-seed differential fuzz: interp/c/tiered x levels 0/1/2
 	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300 --tiered
+
+autovec-smoke:  # the vectorizer gate: unit tests, corpus replay + fixed-seed
+	# fuzz with level 3 in the matrix (verifier on), then the speedup benchmark
+	$(PYTHON) -m pytest tests/passes/test_vectorize.py -q
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --replay tests/fuzz/corpus --autovec
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300 --autovec
+	$(PYTHON) -m pytest benchmarks/test_autovec.py -p no:benchmark -q -s
+
+bench-autovec:  # auto-vectorizer speedup vs scalar C (writes BENCH_autovec.json)
+	$(PYTHON) -m pytest benchmarks/test_autovec.py -p no:benchmark -q -s
 
 tier-smoke:  # exec-layer tests, then a traced tiered demo (tier-up + deopt events)
 	$(PYTHON) -m pytest tests/exec -q

@@ -28,8 +28,20 @@ from typing import Optional
 from ...core import tast
 from ...core import types as T
 from ...errors import CompileError
+from ...passes.analysis import expr_may_trap, has_side_effects
 
 _unit_ids = itertools.count(1)
+
+
+def _order_sensitive(e: tast.TExpr) -> bool:
+    """Must ``e`` be evaluated at its source position relative to its
+    siblings?  C leaves binary-operand and argument evaluation order
+    unspecified (gcc goes right-to-left on x86-64), so when two sibling
+    expressions can both trap or have side effects the emitter pins
+    left-to-right order with a statement expression — otherwise
+    ``(1 % d) / (1 / d)`` with ``d == 0`` reports the *division* trap
+    where the interpreter (and source order) hit the modulo first."""
+    return expr_may_trap(e) or has_side_effects(e)
 
 #: runtime trap codes reported by guarded operations (see docs/LANGUAGE.md
 #: "Defined semantics"); :mod:`repro.backend.c.runtime` translates them to
@@ -378,12 +390,14 @@ class CEmitter:
         serial iterate sequence, whatever the chunk alignment)."""
         cty = self.ctype(s.var_type)
         name = self._sym(s.symbol)
-        lim = f"_lim{next(self._tmp)}"
         start = f"_sta{next(self._tmp)}"
+        lim = f"_lim{next(self._tmp)}"
         self._line("{")
         self.indent += 1
-        self._line(f"{cty} {lim} = {self._ev(s.limit)};")
+        # source evaluation order: start, then limit (matches _emit_for
+        # and the interpreter)
         self._line(f"{cty} {start} = {self._ev(s.start)};")
+        self._line(f"{cty} {lim} = {self._ev(s.limit)};")
         self._line(f"if ({lim} > ({cty})_chi) {lim} = ({cty})_chi;")
         if s.step is None:
             self._line(f"if ({start} < ({cty})_clo) {start} = ({cty})_clo;")
@@ -759,9 +773,14 @@ class CEmitter:
     def _emit_for(self, s: tast.TForNum) -> None:
         cty = self.ctype(s.var_type)
         name = self._sym(s.symbol)
+        # bounds evaluate once, in source order (start, limit, step) —
+        # the interpreter does the same, and effectful or trapping bound
+        # expressions make the order observable
+        sta = f"_sta{next(self._tmp)}"
         lim = f"_lim{next(self._tmp)}"
         self._line("{")
         self.indent += 1
+        self._line(f"{cty} {sta} = {self._ev(s.start)};")
         self._line(f"{cty} {lim} = {self._ev(s.limit)};")
         if s.step is None:
             cond = f"{name} < {lim}"
@@ -776,7 +795,7 @@ class CEmitter:
                 cond = f"{name} > {lim}"
             else:
                 cond = f"({stp} > 0 ? {name} < {lim} : {name} > {lim})"
-        self._line(f"for ({cty} {name} = {self._ev(s.start)}; {cond}; {inc}) {{")
+        self._line(f"for ({cty} {name} = {sta}; {cond}; {inc}) {{")
         self.indent += 1
         self._emit_block_stmts(s.body)
         self.indent -= 1
@@ -820,10 +839,20 @@ class CEmitter:
         if isinstance(e, tast.TCast):
             return self._cast(e)
         if isinstance(e, tast.TCall):
-            args = ", ".join(self._ev(a) for a in e.args)
+            argstrs = [self._ev(a) for a in e.args]
             if isinstance(e.fn, (tast.TFuncLit, tast.TCallback)):
-                return f"{self._ev(e.fn)}({args})"
-            return f"({self._ev(e.fn)})({args})"
+                callee = self._ev(e.fn)
+            else:
+                callee = f"({self._ev(e.fn)})"
+            if sum(1 for a in e.args if _order_sensitive(a)) >= 2:
+                # pin left-to-right argument evaluation (C leaves call
+                # argument order unspecified; gcc goes right-to-left)
+                decls = " ".join(
+                    f"{self.ctype(a.type)} _seqa{i} = ({s});"
+                    for i, (a, s) in enumerate(zip(e.args, argstrs)))
+                args = ", ".join(f"_seqa{i}" for i in range(len(e.args)))
+                return f"({{ {decls} {callee}({args}); }})"
+            return f"{callee}({', '.join(argstrs)})"
         if isinstance(e, tast.TSelect):
             return f"{self._ev(e.obj)}.{_sanitize(e.field)}"
         if isinstance(e, tast.TIndex):
@@ -872,6 +901,12 @@ class CEmitter:
                 suffix = "LL" if ty.signed else "ULL"
             elif not ty.signed:
                 suffix = "U"
+            if ty.signed and value == -(1 << (ty.bytes * 8 - 1)):
+                # C has no negative literals: -9223372036854775808LL
+                # parses as -(9223372036854775808LL) whose operand
+                # overflows long long.  Spell every signed minimum as
+                # (min+1) - 1 so the same form works at any width.
+                return f"(({self.ctype(ty)})({value + 1}{suffix} - 1))"
             return f"(({self.ctype(ty)}){value}{suffix})"
         import math
         fv = float(value)
@@ -901,8 +936,13 @@ class CEmitter:
         src = e.expr.type
         if e.kind == "broadcast":
             assert isinstance(ty, T.VectorType)
-            # GCC: vector op scalar broadcasts the scalar
-            return f"((({self.ctype(ty)}){{0}}) + ({inner}))"
+            # splat via an initializer list: the older `{0} + x` trick
+            # loses the sign of -0.0 (0.0 + -0.0 == +0.0) and is not
+            # bit-exact for NaN payloads
+            sty = self.ctype(src)
+            elems = ", ".join(["_b"] * ty.count)
+            return (f"({{ {sty} _b = ({inner}); "
+                    f"({self.ctype(ty)}){{{elems}}}; }})")
         if e.kind == "vector":
             assert isinstance(ty, T.VectorType)
             if isinstance(src, T.VectorType) and src.elem.isfloat() \
@@ -963,6 +1003,18 @@ class CEmitter:
 
     def _binop(self, e: tast.TBinOp) -> str:
         lhs, rhs = self._ev(e.lhs), self._ev(e.rhs)
+        if _order_sensitive(e.lhs) and _order_sensitive(e.rhs):
+            # pin left-to-right operand evaluation (C leaves it
+            # unspecified): materialize both sides in source order, then
+            # apply the operator to the temporaries
+            lt = self.ctype(e.lhs.type)
+            rt = self.ctype(e.rhs.type)
+            inner = self._binop_apply(e, "_seql", "_seqr")
+            return (f"({{ {lt} _seql = ({lhs}); {rt} _seqr = ({rhs}); "
+                    f"{inner}; }})")
+        return self._binop_apply(e, lhs, rhs)
+
+    def _binop_apply(self, e: tast.TBinOp, lhs: str, rhs: str) -> str:
         op = self._C_OPS[e.op]
         lt = e.lhs.type
         ty = e.type
@@ -1058,6 +1110,25 @@ class CEmitter:
             cty = self.ctype(ty)
             return (f"({{ {cty} _a = ({a}); {cty} _b = ({b}); "
                     f"({cond}) ? _a : _b; }})")
+        if name == "vload":
+            # unaligned vector load: memcpy compiles to one movups-class
+            # instruction at -O1+; vector sizes here are always exact
+            # (power-of-two lane counts), so sizeof covers just the lanes
+            cty = self.ctype(e.type)
+            addr = self._ev(e.args[0])
+            return (f"({{ {cty} _v; __builtin_memcpy(&_v, "
+                    f"(const void*)({addr}), sizeof _v); _v; }})")
+        if name == "vstore":
+            cty = self.ctype(e.args[1].type)
+            addr = self._ev(e.args[0])
+            value = self._ev(e.args[1])
+            return (f"({{ {cty} _v = ({value}); __builtin_memcpy("
+                    f"(void*)({addr}), &_v, sizeof _v); (void)0; }})")
+        if name == "fma":
+            ty = e.type
+            a, b, c = (self._ev(x) for x in e.args)
+            suffix = "f" if ty is T.float32 else ""
+            return f"__builtin_fma{suffix}({a}, {b}, {c})"
         if name in ("fmin", "fmax"):
             ty = e.type
             a, b = self._ev(e.args[0]), self._ev(e.args[1])

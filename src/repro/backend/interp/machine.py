@@ -466,8 +466,28 @@ class Machine:
             return None
         if name == "fence":
             return None
+        if name == "vload":
+            vty = e.type
+            assert isinstance(vty, T.VectorType)
+            addr = self.eval_expr(e.args[0], frame)
+            esize = vty.elem.sizeof()
+            return [self.typed.load(addr + k * esize, vty.elem)
+                    for k in range(vty.count)]
+        if name == "vstore":
+            vty = e.args[1].type
+            assert isinstance(vty, T.VectorType)
+            addr = self.eval_expr(e.args[0], frame)
+            value = self.eval_expr(e.args[1], frame)
+            esize = vty.elem.sizeof()
+            for k, lane in enumerate(value):
+                self.typed.store(addr + k * esize, lane, vty.elem)
+            return None
         args = [self.eval_expr(a, frame) for a in e.args]
         ty = e.type
+        if name == "fma":
+            a, b, c = args
+            assert isinstance(ty, T.PrimitiveType)
+            return V.fused_multiply_add(a, b, c, ty)
         if name == "select":
             cond, a, b = args
             if isinstance(ty, T.VectorType):

@@ -347,7 +347,13 @@ class TypeChecker:
             if ty.isarithmetic() or (ty.isvector() and ty.isarithmetic()):
                 if isinstance(operand, tast.TConst) and isinstance(
                         operand.value, (int, float)):
-                    return tast.TConst(-operand.value, ty, e.location)
+                    # fold with C semantics: unsigned/sub-int negation
+                    # wraps at the type's width (a bare -value would bake
+                    # an unrepresentable constant into the IR, which the
+                    # C emitter then wraps but the interpreter would not)
+                    from ..backend.interp.values import scalar_neg
+                    return tast.TConst(scalar_neg(operand.value, ty),
+                                       ty, e.location)
                 return tast.TUnOp("-", operand, ty, e.location)
             raise TypeCheckError(f"cannot negate {ty}", e.location)
         if e.op == "not":

@@ -3,6 +3,7 @@
     python -m repro.fuzz --seed 20260806 --count 300
     python -m repro.fuzz --count 50 --backends c --levels 1,2
     python -m repro.fuzz --count 100 --tiered
+    python -m repro.fuzz --count 300 --autovec
     python -m repro.fuzz --replay tests/fuzz/corpus --tiered
     python -m repro.fuzz --count 200 --minimize --save findings/
 
@@ -29,7 +30,8 @@ from .runner import (DEFAULT_CONFIGS, DEFAULT_TIMEOUT, executions_diverge,
                      run_differential, run_program)
 
 
-def _parse_configs(backends: str, levels: str, tiered: bool) -> list:
+def _parse_configs(backends: str, levels: str, tiered: bool,
+                   autovec: bool = False) -> list:
     bs = [b.strip() for b in backends.split(",") if b.strip()]
     if tiered and "tiered" not in bs:
         bs.append("tiered")
@@ -38,9 +40,17 @@ def _parse_configs(backends: str, levels: str, tiered: bool) -> list:
         if b not in ("interp", "c", "tiered"):
             raise SystemExit(f"unknown backend {b!r}")
     for lv in lvls:
-        if lv not in (0, 1, 2):
-            raise SystemExit(f"pipeline level must be 0..2, got {lv}")
-    return [(b, lv) for b in bs for lv in lvls]
+        if lv not in (0, 1, 2, 3):
+            raise SystemExit(f"pipeline level must be 0..3, got {lv}")
+    configs = [(b, lv) for b in bs for lv in lvls]
+    if autovec:
+        # the autovec matrix: both real backends at the vectorizing
+        # level, on top of whatever the caller selected, so vectorized
+        # executions are compared bitwise against every scalar config
+        for cfg in [("interp", 3), ("c", 3)]:
+            if cfg not in configs:
+                configs.append(cfg)
+    return configs
 
 
 def main(argv=None) -> int:
@@ -58,6 +68,10 @@ def main(argv=None) -> int:
                              "(low-threshold sync tier-up) at each level")
     parser.add_argument("--levels", default="0,1,2",
                         help="comma list of pipeline levels (default 0,1,2)")
+    parser.add_argument("--autovec", action="store_true",
+                        help="also run interp and c at level 3 (the "
+                             "auto-vectorizing pipeline), compared "
+                             "bitwise against the scalar configs")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
                         help="per-program watchdog seconds")
     parser.add_argument("--minimize", action="store_true",
@@ -76,7 +90,8 @@ def main(argv=None) -> int:
         print(f"-- entry: {program.entry}  argsets: {program.argsets}")
         return 0
 
-    configs = _parse_configs(opts.backends, opts.levels, opts.tiered)
+    configs = _parse_configs(opts.backends, opts.levels, opts.tiered,
+                             opts.autovec)
 
     if opts.replay:
         failures = 0

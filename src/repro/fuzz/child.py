@@ -146,7 +146,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.fuzz.child")
     parser.add_argument("--backend", required=True,
                         choices=["interp", "c", "tiered"])
-    parser.add_argument("--level", required=True, type=int, choices=[0, 1, 2])
+    parser.add_argument("--level", required=True, type=int,
+                        choices=[0, 1, 2, 3])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--count", type=int, default=0)
     parser.add_argument("--start", type=int, default=0)

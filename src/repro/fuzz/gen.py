@@ -383,17 +383,91 @@ def generate_argsets(rng: random.Random, argtypes: list,
 
 
 # ---------------------------------------------------------------------------
+# array kernels (the auto-vectorizer's program family)
+
+
+#: element types array kernels draw from — every lane width the
+#: vectorizer supports, plus bool-free sub-int types for wrap coverage
+_KERNEL_ELEMS = ["int8", "int16", "int32", "int64",
+                 "uint8", "uint16", "uint32", "uint64",
+                 "float", "double"]
+
+
+def _array_kernel_source(rng: random.Random, name: str) -> tuple:
+    """One array-processing entry point: local arrays accessed through
+    pointer locals with fill / pointwise / reduce loops — the shapes the
+    auto-vectorizer rewrites.  Returns (source, argtypes).
+
+    Deliberate variants keep the *bailout* paths covered too: an aliased
+    destination (the runtime disjointness guard must fail closed), a
+    non-unit step (static bail), an integer-divide body (trapping-op
+    bail, and the trap itself is defined behaviour both backends must
+    agree on).  The loop bound is a masked argument, so trip counts hit
+    0, 1, and epilogue-only cases from the argument generator."""
+    elem = rng.choice(_KERNEL_ELEMS)
+    size = rng.choice([16, 32, 64])
+    is_float = elem in FLOAT_NAMES
+    c1 = rng.randint(1, 7)
+    c2 = rng.randint(3, 13)
+    c3 = rng.randint(0, 9)
+    if is_float:
+        op = rng.choice(["+", "-", "*", "/"])
+        op2 = rng.choice(["+", "-", "*"])
+        redop = "+"
+    else:
+        op = rng.choice(["+", "-", "*", "^", "and", "or", "/"])
+        op2 = rng.choice(["+", "-", "*", "^"])
+        redop = rng.choice(["+", "^"])
+    aliased = rng.random() < 0.25
+    step = ", 2" if rng.random() < 0.2 else ""
+    dst = "&A[0]" if aliased else "&C[0]"
+    lines = [
+        f"terra {name}(x : int32, s : {elem}, nn : int32) : {elem}",
+        f"    var A : {elem}[{size}]",
+        f"    var B : {elem}[{size}]",
+        f"    var C : {elem}[{size}]",
+        f"    for i = 0, {size} do",
+        f"        A[i] = [{elem}]((i * {c1} + x) % {c2})",
+        f"        B[i] = [{elem}](i - {c3})",
+        f"        C[i] = [{elem}](0)",
+        "    end",
+        f"    var pa : &{elem} = &A[0]",
+        f"    var pb : &{elem} = &B[0]",
+        f"    var pc : &{elem} = {dst}",
+        f"    var m : int32 = nn and {size - 1}",
+        f"    for i = 0, m{step} do",
+        f"        pc[i] = (pa[i] {op} pb[i]) {op2} s",
+        "    end",
+        f"    var acc : {elem} = [{elem}](0)",
+        f"    for i = 0, {size} do",
+        f"        acc = acc {redop} (A[i] {op2} C[i])",
+        "    end",
+        "    return acc",
+        "end",
+    ]
+    return "\n".join(lines), ["int32", elem, "int32"]
+
+
+# ---------------------------------------------------------------------------
 # whole programs
 
 
 def generate_program(seed: int, index: int) -> FuzzProgram:
     """The deterministic program named by ``(seed, index)``.
 
-    A program is 1–3 functions; later functions may call earlier ones
-    (never recursively), and the *last* function is the differential entry
-    point.  The same (seed, index) always yields the same program and the
-    same argument sets."""
+    Most programs are 1–3 scalar functions; later functions may call
+    earlier ones (never recursively), and the *last* function is the
+    differential entry point.  About a quarter are array kernels (see
+    :func:`_array_kernel_source`) exercising the auto-vectorizer's
+    rewrite and bailout paths.  The same (seed, index) always yields the
+    same program and the same argument sets."""
     rng = random.Random(f"{seed}:{index}")
+    if rng.random() < 0.25:
+        name = f"fz{index}_k"
+        source, argtypes = _array_kernel_source(rng, name)
+        argsets = generate_argsets(rng, argtypes)
+        return FuzzProgram(seed=seed, index=index, source=source,
+                           entry=name, argtypes=argtypes, argsets=argsets)
     nfuncs = rng.choices([1, 2, 3], weights=[6, 3, 1])[0]
     callables: list = []
     chunks = []

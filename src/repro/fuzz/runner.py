@@ -44,6 +44,13 @@ DEFAULT_CONFIGS = [("interp", 0), ("interp", 1), ("interp", 2),
 #: against both plain backends.  Opt-in via ``--tiered`` / these consts.
 TIERED_CONFIGS = [("tiered", 0), ("tiered", 1), ("tiered", 2)]
 
+#: ride-along configurations for the auto-vectorizer: both real backends
+#: at pipeline level 3 (fold/simplify/licm/vectorize/dce).  Vectorized
+#: executions must agree *bitwise* with every scalar config — traps,
+#: NaNs, signed zeros, and sub-int wrapping included.  Opt-in via
+#: ``--autovec`` / these consts.
+AUTOVEC_CONFIGS = [("interp", 3), ("c", 3)]
+
 #: seconds a child may spend on one program before the watchdog kills it
 DEFAULT_TIMEOUT = 60.0
 

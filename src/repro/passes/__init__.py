@@ -16,6 +16,7 @@ from .manager import (  # noqa: F401
     PIPELINE_CANON,
     PIPELINE_FULL,
     PIPELINE_NONE,
+    PIPELINE_VEC,
     Pass,
     PassManager,
     available_passes,
@@ -34,6 +35,7 @@ __all__ = [
     "PIPELINE_CANON",
     "PIPELINE_FULL",
     "PIPELINE_NONE",
+    "PIPELINE_VEC",
     "Pass",
     "PassManager",
     "available_passes",

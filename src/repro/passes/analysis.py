@@ -55,45 +55,101 @@ def _pure_lvalue_chain(e: tast.TExpr) -> bool:
     return False
 
 
-def is_pure(e: tast.TExpr) -> bool:
-    """True when evaluating ``e`` has no side effects and cannot trap."""
-    if isinstance(e, (tast.TConst, tast.TString, tast.TNull, tast.TVar,
-                      tast.TGlobal, tast.TFuncLit, tast.TCallback)):
-        return True
+#: expression nodes that are values by themselves: no effects, no traps
+_LEAF_EXPRS = (tast.TConst, tast.TString, tast.TNull, tast.TVar,
+               tast.TGlobal, tast.TFuncLit, tast.TCallback)
+
+
+def has_side_effects(e: tast.TExpr) -> bool:
+    """May evaluating ``e`` do anything observable *besides* producing a
+    value or trapping — write memory, call out, advance external state?
+
+    The expression grammar is nearly effect-free: only calls, intrinsics
+    (which may fence or prefetch), and statement-carrying ``TLetIn``
+    blocks can write.  Anything unrecognized is conservatively effectful.
+    Traps are deliberately NOT side effects here — use
+    :func:`expr_may_trap` for those; LICM and the vectorizer need the
+    two questions separately (a trapping-but-effect-free expression may
+    be *sunk* or *guarded*, never *hoisted*).
+    """
+    if isinstance(e, _LEAF_EXPRS):
+        return False
     if isinstance(e, tast.TUnOp):
-        return is_pure(e.operand)
-    if isinstance(e, tast.TBinOp):
-        if binop_may_trap(e):
-            return False
-        return is_pure(e.lhs) and is_pure(e.rhs)
-    if isinstance(e, tast.TLogical):
-        return is_pure(e.lhs) and is_pure(e.rhs)
+        return has_side_effects(e.operand)
+    if isinstance(e, (tast.TBinOp, tast.TLogical)):
+        return has_side_effects(e.lhs) or has_side_effects(e.rhs)
     if isinstance(e, tast.TCast):
-        return is_pure(e.expr)
+        return has_side_effects(e.expr)
+    if isinstance(e, tast.TSelect):
+        return has_side_effects(e.obj)
+    if isinstance(e, (tast.TIndex, tast.TVectorIndex)):
+        return has_side_effects(e.obj) or has_side_effects(e.index)
+    if isinstance(e, tast.TAddressOf):
+        return has_side_effects(e.operand)
+    if isinstance(e, tast.TCtor):
+        return any(has_side_effects(x) for x in e.inits)
+    # TCall, TIntrinsic, TDeref, TLetIn and anything unknown: conservative
+    return True
+
+
+def expr_may_trap(e: tast.TExpr) -> bool:
+    """May evaluating ``e`` raise a runtime trap?
+
+    Traps are *defined* behaviour here (``docs/LANGUAGE.md``): integer
+    division/modulo by zero and out-of-bounds accesses abort the call in
+    both backends, and the differential suite asserts they are preserved.
+    A pass must never hoist a possibly-trapping expression past a branch
+    or out of a loop whose trip count can be zero — that would introduce
+    a trap the program never executed (see ``passes/licm.py``).
+    """
+    if isinstance(e, _LEAF_EXPRS):
+        return False
+    if isinstance(e, tast.TUnOp):
+        return expr_may_trap(e.operand)
+    if isinstance(e, tast.TBinOp):
+        return binop_may_trap(e) or expr_may_trap(e.lhs) \
+            or expr_may_trap(e.rhs)
+    if isinstance(e, tast.TLogical):
+        return expr_may_trap(e.lhs) or expr_may_trap(e.rhs)
+    if isinstance(e, tast.TCast):
+        # casts never trap: float->int saturates, sub-int wraps
+        return expr_may_trap(e.expr)
     if isinstance(e, tast.TSelect):
         if _pure_lvalue_chain(e.obj):
-            return True
-        return not e.obj.lvalue and is_pure(e.obj)
+            return False
+        if not e.obj.lvalue:
+            return expr_may_trap(e.obj)
+        return True  # loads through pointer-rooted lvalues may trap
     if isinstance(e, tast.TIndex):
         oty = e.obj.type
         if isinstance(oty, T.ArrayType) and is_const(e.index) \
                 and 0 <= e.index.value < oty.count:
-            return _pure_lvalue_chain(e.obj) or \
-                (not e.obj.lvalue and is_pure(e.obj))
-        return False  # pointer indexing / runtime index: loads may trap
+            if _pure_lvalue_chain(e.obj):
+                return expr_may_trap(e.index)
+            if not e.obj.lvalue:
+                return expr_may_trap(e.obj) or expr_may_trap(e.index)
+        return True  # pointer indexing / runtime index: loads may trap
     if isinstance(e, tast.TVectorIndex):
         oty = e.obj.type
         if isinstance(oty, T.VectorType) and is_const(e.index) \
                 and 0 <= e.index.value < oty.count:
-            return _pure_lvalue_chain(e.obj) or \
-                (not e.obj.lvalue and is_pure(e.obj))
-        return False
+            if _pure_lvalue_chain(e.obj):
+                return expr_may_trap(e.index)
+            if not e.obj.lvalue:
+                return expr_may_trap(e.obj) or expr_may_trap(e.index)
+        return True
     if isinstance(e, tast.TAddressOf):
-        return isinstance(e.operand, tast.TVar)
+        return not isinstance(e.operand, tast.TVar)
     if isinstance(e, tast.TCtor):
-        return all(is_pure(x) for x in e.inits)
+        return any(expr_may_trap(x) for x in e.inits)
     # TCall, TIntrinsic, TDeref, TLetIn and anything unknown: conservative
-    return False
+    return True
+
+
+def is_pure(e: tast.TExpr) -> bool:
+    """True when evaluating ``e`` has no side effects and cannot trap —
+    the expression may be deleted, duplicated, or evaluated early."""
+    return not has_side_effects(e) and not expr_may_trap(e)
 
 
 # -- generic in-place expression rewriting ----------------------------------------

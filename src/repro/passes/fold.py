@@ -169,10 +169,12 @@ def _stat(s: tast.TStat) -> list[tast.TStat]:
         s.limit = _expr(s.limit)
         if s.step is not None:
             s.step = _expr(s.step)
-        if is_const(s.start) and is_const(s.limit):
-            step_val = 1
-            if s.step is not None and is_const(s.step):
-                step_val = s.step.value
+        if is_const(s.start) and is_const(s.limit) \
+                and (s.step is None or is_const(s.step)):
+            # only prune when the step's SIGN is known: a non-constant
+            # step is not "1" — `for i = 5, 0, s` with a runtime
+            # negative s runs, and deleting it would be a miscompile
+            step_val = s.step.value if s.step is not None else 1
             if step_val > 0 and s.start.value >= s.limit.value:
                 return []  # zero-trip loop
             if step_val < 0 and s.start.value <= s.limit.value:

@@ -8,10 +8,13 @@ declared just before the loop.
 
 Deliberately conservative — a hoisted expression must be
 
-* **pure and trap-free** (:func:`~repro.passes.analysis.is_pure`):
+* **effect-free** (:func:`~repro.passes.analysis.has_side_effects`) and
+  **trap-free** (:func:`~repro.passes.analysis.expr_may_trap`), checked
+  separately so neither requirement can be weakened by accident:
   hoisting moves evaluation to before the first iteration, and for
-  ``while``/``for`` loops the body may run *zero* times, so anything
-  that could trap or have an effect must stay put;
+  ``while``/``for`` loops the body may run *zero* times, so a hoisted
+  ``x / y`` would introduce a division-by-zero trap the original program
+  never executes;
 * **scalar arithmetic over invariants**: built only from constants and
   local variables that the loop provably never mutates (no direct
   assignment inside the loop, not the loop variable, not declared in the
@@ -33,7 +36,7 @@ from __future__ import annotations
 from ..core import tast
 from ..core import types as T
 from ..core.symbols import Symbol
-from .analysis import is_pure, transform_exprs
+from .analysis import expr_may_trap, has_side_effects, transform_exprs
 from .manager import Pass, register_pass
 
 
@@ -104,10 +107,15 @@ def _hoist_loop(loop: tast.TStat, addr_taken: set[Symbol]):
         if invariant_var(e):
             return isinstance(e.type, T.PrimitiveType)
         if isinstance(e, tast.TUnOp):
-            return isinstance(e.type, T.PrimitiveType) and is_pure(e) \
+            return isinstance(e.type, T.PrimitiveType) \
+                and not has_side_effects(e) and not expr_may_trap(e) \
                 and hoistable(e.operand)
         if isinstance(e, tast.TBinOp):
-            return isinstance(e.type, T.PrimitiveType) and is_pure(e) \
+            # trap-freedom is load-bearing, not just purity: the loop may
+            # run zero times, and a hoisted `x / y` would evaluate a
+            # division the original program never reaches
+            return isinstance(e.type, T.PrimitiveType) \
+                and not has_side_effects(e) and not expr_may_trap(e) \
                 and hoistable(e.lhs) and hoistable(e.rhs)
         if isinstance(e, tast.TCast):
             return e.kind == "numeric" \

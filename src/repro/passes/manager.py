@@ -12,8 +12,9 @@ depends on which backend compiled first.
 
 Environment switches:
 
-* ``REPRO_TERRA_PIPELINE=<0|1|2>`` — force a pipeline level process-wide
-  (0 = raw typed IR, 1 = canonicalize: fold/simplify/dce, 2 = full: +licm);
+* ``REPRO_TERRA_PIPELINE=<0|1|2|3>`` — force a pipeline level process-wide
+  (0 = raw typed IR, 1 = canonicalize: fold/simplify/dce, 2 = full: +licm,
+  3 = vectorize: +auto-vectorization of innermost countable loops);
 * ``REPRO_TERRA_DISABLE_PASSES=licm,dce`` — drop individual passes;
 * ``REPRO_TERRA_DUMP_IR=<pass|all>`` — print the IR before and after the
   named pass (or every pass) to stderr, rendered through
@@ -48,11 +49,15 @@ PIPELINE_NONE = 0
 PIPELINE_CANON = 1
 #: the full pipeline: canonicalization plus loop-invariant hoisting
 PIPELINE_FULL = 2
+#: the vectorizing pipeline: full, plus auto-vectorization of innermost
+#: countable loops (vector IR + scalar epilogue; see passes/vectorize.py)
+PIPELINE_VEC = 3
 
 LEVEL_PASSES: dict[int, tuple[str, ...]] = {
     PIPELINE_NONE: (),
     PIPELINE_CANON: ("fold", "simplify", "dce"),
     PIPELINE_FULL: ("fold", "simplify", "licm", "dce"),
+    PIPELINE_VEC: ("fold", "simplify", "licm", "vectorize", "dce"),
 }
 
 
@@ -98,7 +103,7 @@ def create_pass(name: str) -> Pass:
 
 def _ensure_registered() -> None:
     """Import the pass modules (each registers itself on import)."""
-    from . import dce, fold, licm, simplify, verify  # noqa: F401
+    from . import dce, fold, licm, simplify, vectorize, verify  # noqa: F401
 
 
 # -- env plumbing -----------------------------------------------------------------
@@ -143,9 +148,9 @@ def resolve_level(level: Optional[int] = None) -> int:
             value = int(env)
         except ValueError:
             value = None
-        if value is None or not PIPELINE_NONE <= value <= PIPELINE_FULL:
+        if value is None or not PIPELINE_NONE <= value <= PIPELINE_VEC:
             raise CompileError(
-                f"REPRO_TERRA_PIPELINE must be 0..2, got {env!r}")
+                f"REPRO_TERRA_PIPELINE must be 0..3, got {env!r}")
         return value
     return PIPELINE_FULL if level is None else level
 

@@ -9,7 +9,18 @@ since the operand's side effects and traps must be preserved):
 * ``x*0, 0*x → 0`` for integers when ``x`` is pure and trap-free;
 * ``-(-x) → x`` for integers (exact mod 2^n), ``not not b → b``;
 * reassociation ``(a + c1) + c2 → a + (c1+c2)`` — exact for wrapping
-  integers (associativity mod 2^n), never applied to floats.
+  integers (associativity mod 2^n), never applied to floats;
+* strength reduction: ``x * 2^k → x << k`` for any integer (wrapping
+  multiply by a power of two IS a shift mod 2^n), and ``x / 2^k → x >> k``,
+  ``x % 2^k → x & (2^k-1)`` for **unsigned** x only — signed division
+  rounds toward zero while arithmetic shift rounds toward −∞, so the
+  signed forms are NOT equivalent and are left alone.
+
+One opt-in, *result-changing* rewrite: with ``REPRO_TERRA_FMA=1``, a
+float ``a*b + c`` whose left operand is the multiply contracts to the
+``fma`` intrinsic (single rounding, like ``-ffp-contract=fast``).  It is
+off by default because contraction changes bits; the differential fuzzer
+never enables it.
 
 Canonicalizing these shapes matters beyond speed: tuner-generated kernels
 that differ only in how constants were staged fold to identical trees,
@@ -18,11 +29,17 @@ emit byte-identical C, and therefore hit the buildd artifact cache.
 
 from __future__ import annotations
 
+import os
+
 from ..backend.interp import values as V
 from ..core import tast
 from ..core import types as T
 from .analysis import is_const, is_pure, transform_block
 from .manager import Pass, register_pass
+
+
+def _fma_enabled() -> bool:
+    return os.environ.get("REPRO_TERRA_FMA", "") not in ("", "0")
 
 
 @register_pass
@@ -56,6 +73,8 @@ def _binop(e: tast.TBinOp) -> tast.TExpr:
     lhs, rhs = e.lhs, e.rhs
     ty = e.type
     if not (isinstance(ty, T.PrimitiveType) and ty.isintegral()):
+        if isinstance(ty, T.PrimitiveType) and ty.isfloat():
+            return _contract_fma(e)
         return e
     if is_const(rhs):
         if e.op in ("+", "-", "|", "^", "<<", ">>") and rhs.value == 0:
@@ -86,6 +105,58 @@ def _binop(e: tast.TBinOp) -> tast.TExpr:
         return _binop(tast.TBinOp(
             e.op, lhs.lhs, tast.TConst(folded, ty, e.location), ty,
             e.location))
+    # merge shift chains (x << c1) << c2 -> x << (c1+c2): exact for <<,
+    # logical >>, and arithmetic >> alike when the (masked) counts sum
+    # below the width; strength-reduced multiply chains land here as
+    # (x << 1) << 3 because reduction runs bottom-up
+    if e.op in ("<<", ">>") and is_const(rhs) \
+            and isinstance(lhs, tast.TBinOp) and lhs.op == e.op \
+            and is_const(lhs.rhs) and lhs.type is ty:
+        w = ty.bytes * 8
+        c1 = lhs.rhs.value & (w - 1)
+        c2 = rhs.value & (w - 1)
+        if c1 + c2 < w:
+            return tast.TBinOp(e.op, lhs.lhs,
+                               tast.TConst(c1 + c2, ty, e.location),
+                               ty, e.location)
+    # strength reduction, after reassociation so `(x*c1)*c2` folds its
+    # constants before the final multiply becomes a shift
+    if is_const(rhs) and isinstance(rhs.value, int) \
+            and not isinstance(rhs.value, bool) and rhs.value >= 2 \
+            and rhs.value & (rhs.value - 1) == 0:
+        k = rhs.value.bit_length() - 1
+        if e.op == "*":
+            # exact for signed AND unsigned: wrapping multiply by 2^k is
+            # a left shift mod 2^n (the constant is in-range, so k < n);
+            # re-enter _binop so a reduced chain merges its shift counts
+            return _binop(tast.TBinOp("<<", lhs,
+                                      tast.TConst(k, ty, e.location),
+                                      ty, e.location))
+        if not ty.signed and e.op == "/":
+            # unsigned only: signed / truncates toward zero, >> toward −∞
+            return _binop(tast.TBinOp(">>", lhs,
+                                      tast.TConst(k, ty, e.location),
+                                      ty, e.location))
+        if not ty.signed and e.op == "%":
+            return tast.TBinOp("&", lhs,
+                               tast.TConst(rhs.value - 1, ty, e.location),
+                               ty, e.location)
+    return e
+
+
+def _contract_fma(e: tast.TBinOp) -> tast.TExpr:
+    """Opt-in (``REPRO_TERRA_FMA=1``) float ``a*b + c → fma(a, b, c)``.
+
+    Only the left-operand-multiply form contracts, so a, b, c keep their
+    original evaluation order.  Result-changing (single rounding), hence
+    off by default and excluded from differential fuzzing."""
+    if e.op != "+" or not _fma_enabled():
+        return e
+    mul = e.lhs
+    if isinstance(mul, tast.TBinOp) and mul.op == "*" \
+            and mul.type is e.type and not isinstance(e.type, T.VectorType):
+        return tast.TIntrinsic("fma", [mul.lhs, mul.rhs, e.rhs], e.type,
+                               e.location)
     return e
 
 

@@ -264,11 +264,23 @@ class _Verifier:
         elif isinstance(e, tast.TIntrinsic):
             for a in e.args:
                 self.expr(a)
+            self.intrinsic(e)
         else:
             self.err(e, "unknown expression node")
 
     def const(self, e: tast.TConst) -> None:
         ty = e.type
+        if isinstance(ty, T.VectorType):
+            # vector constants (vectorizer splats/iotas/identities) hold
+            # one scalar per lane
+            if not isinstance(e.value, (list, tuple)):
+                self.err(e, f"vector constant holds {e.value!r}")
+            if len(e.value) != ty.count:
+                self.err(e, f"vector constant has {len(e.value)} lanes "
+                            f"for {ty}")
+            for lane in e.value:
+                self.const(tast.TConst(lane, ty.elem))
+            return
         if not isinstance(ty, T.PrimitiveType):
             self.err(e, f"constant of non-primitive type {ty}")
         if ty.isintegral():
@@ -285,6 +297,25 @@ class _Verifier:
         elif ty.isfloat():
             if not isinstance(e.value, (int, float)):
                 self.err(e, f"float constant holds {e.value!r}")
+
+    def intrinsic(self, e: tast.TIntrinsic) -> None:
+        # vector memory intrinsics are produced only by the vectorizer;
+        # their typing is load-bearing for the C emitter's memcpy forms
+        if e.name == "vload":
+            if len(e.args) != 1 or not e.args[0].type.ispointer():
+                self.err(e, "vload takes one pointer argument")
+            if not (isinstance(e.type, T.VectorType)
+                    and e.type.elem is e.args[0].type.pointee):
+                self.err(e, f"vload of {e.args[0].type} typed {e.type}")
+        elif e.name == "vstore":
+            if len(e.args) != 2 or not e.args[0].type.ispointer():
+                self.err(e, "vstore takes a pointer and a vector")
+            vty = e.args[1].type
+            if not (isinstance(vty, T.VectorType)
+                    and vty.elem is e.args[0].type.pointee):
+                self.err(e, f"vstore of {vty} through {e.args[0].type}")
+            if e.type is not T.unit:
+                self.err(e, f"vstore typed {e.type}, expected unit")
 
     def cast(self, e: tast.TCast) -> None:
         self.expr(e.expr)

@@ -102,3 +102,72 @@ def test_varying_args_produce_no_variant():
     stats = _profiled(fn, [(1, 1), (2, 2), (3, 3)])
     variant, consts = respec.respecialize(fn, stats)
     assert variant is None and consts == {}
+
+
+EXTREME = """
+terra low(x : int64, y : int64) : int64
+  if x < y then return x end
+  return y
+end
+"""
+
+EXTREME32 = """
+terra low32(x : int32, y : int32) : int32
+  if x < y then return x end
+  return y
+end
+"""
+
+BOOLSEL = """
+terra sel(flag : bool, a : int32, b : int32) : int32
+  if flag then return a end
+  return b
+end
+"""
+
+
+def test_splice_int64_min_compiles_and_runs(backend):
+    # INT64_MIN as a bare C literal overflows long long (the grammar is
+    # unary minus applied to 9223372036854775808LL); the emitter must
+    # spell it (min+1) - 1.  Splicing it is the easiest way to force the
+    # literal into generated code.
+    lo = -(2 ** 63)
+    fn = terra(EXTREME)
+    variant = respec.specialize_variant(fn, {0: lo})
+    assert variant is not None
+    assert variant.compile(backend)(lo, 5) == lo
+    assert variant.compile(backend)(lo, lo) == lo
+
+
+def test_splice_int32_min_compiles_and_runs(backend):
+    lo = -(2 ** 31)
+    fn = terra(EXTREME32)
+    variant = respec.specialize_variant(fn, {0: lo})
+    assert variant is not None
+    assert variant.compile(backend)(lo, 7) == lo
+
+
+def test_splice_bool_param_as_zero_one(backend):
+    # a spliced bool must reach C as 0/1, never Python's repr
+    fn = terra(BOOLSEL)
+    stats = _profiled(fn, [(True, 10, 20), (True, 11, 21)])
+    consts = respec.stable_consts(fn, stats)
+    assert consts[0] is True
+    for flag_const in (True, False):
+        variant = respec.specialize_variant(fn, {0: flag_const})
+        assert variant is not None
+        got = variant.compile(backend)(flag_const, 10, 20)
+        assert got == (10 if flag_const else 20)
+
+
+def test_emitted_c_spells_extreme_constants():
+    from repro import get_backend
+    c = get_backend("c")
+    fn = terra(EXTREME)
+    variant = respec.specialize_variant(fn, {0: -(2 ** 63)})
+    src = c.emit_source(variant)
+    assert "-9223372036854775808" not in src
+    assert "-9223372036854775807LL - 1" in src
+    flagged = respec.specialize_variant(terra(BOOLSEL), {0: True})
+    src = c.emit_source(flagged)
+    assert "True" not in src

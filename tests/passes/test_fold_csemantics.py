@@ -158,6 +158,53 @@ class TestFloat32Rounding:
         assert const == i == c
 
 
+class TestZeroTripLoopPrune:
+    def count_loops(self, src):
+        fn = terra(src, env={})
+        fn.ensure_typechecked()
+        FoldPass().run(fn.typed)
+        return (fn, sum(1 for n in tast.walk(fn.typed.body)
+                        if isinstance(n, tast.TForNum)))
+
+    def test_const_zero_trip_pruned(self):
+        _, loops = self.count_loops("""
+        terra f() : int
+          var acc = 0
+          for i = 5, 0 do acc = acc + i end
+          return acc
+        end
+        """)
+        assert loops == 0
+
+    def test_nonconst_step_not_pruned(self):
+        """`for i = 5, 0, s` runs when s is negative at runtime; the
+        folder used to assume step=1 for any non-constant step and
+        deleted the loop."""
+        fn, loops = self.count_loops("""
+        terra f(s : int) : int
+          var acc = 0
+          for i = 5, 0, s do acc = acc + i end
+          return acc
+        end
+        """)
+        assert loops == 1
+        interp = fn.compile("interp")
+        cfn = fn.compile("c")
+        for s in (-1, -2, 1):
+            assert interp(s) == cfn(s)
+        assert interp(-1) == 5 + 4 + 3 + 2 + 1
+
+    def test_const_negative_step_prune_respects_direction(self):
+        _, loops = self.count_loops("""
+        terra f() : int
+          var acc = 0
+          for i = 0, 5, -1 do acc = acc + 1 end
+          return acc
+        end
+        """)
+        assert loops == 0
+
+
 class TestShortCircuit:
     def test_false_and_trapping_rhs_folds_to_false(self):
         """The right side would never run, so dropping it is exact."""

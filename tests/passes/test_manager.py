@@ -10,6 +10,7 @@ from repro.passes import (
     PIPELINE_CANON,
     PIPELINE_FULL,
     PIPELINE_NONE,
+    PIPELINE_VEC,
     PassManager,
     available_passes,
     create_pass,
@@ -92,7 +93,11 @@ class TestLevels:
         with pytest.raises(CompileError, match="REPRO_TERRA_PIPELINE"):
             resolve_level(None)
 
-    @pytest.mark.parametrize("value", ["5", "-1", "3"])
+    def test_resolve_env_vec_level(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", "3")
+        assert resolve_level(None) == PIPELINE_VEC
+
+    @pytest.mark.parametrize("value", ["5", "-1", "4"])
     def test_resolve_env_out_of_range(self, monkeypatch, value):
         """Out-of-range levels raise like non-integers do, instead of
         silently clamping a typo'd configuration."""

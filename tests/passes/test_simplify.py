@@ -122,10 +122,13 @@ class TestReassociation:
         assert isinstance(ret.rhs, tast.TConst) and ret.rhs.value == 2
 
     def test_multiply_chain(self):
+        """(x*2)*8 reassociates to x*16, which then strength-reduces to
+        x << 4 (wrapping multiply by a power of two IS a shift)."""
         fn = typed_fn("terra f(x : int) : int return (x * 2) * 8 end")
         assert SimplifyPass().run(fn.typed) is True
         ops = binops(fn.typed.body)
-        assert len(ops) == 1 and ops[0].rhs.value == 16
+        assert len(ops) == 1
+        assert ops[0].op == "<<" and ops[0].rhs.value == 4
         assert fn.compile("interp")(3) == 48
 
     def test_reassociation_wraps_like_c(self):
@@ -140,14 +143,152 @@ class TestReassociation:
         assert fn.compile("interp")(5) == 5 - 2147483648
 
     def test_mixed_ops_not_reassociated(self):
+        """+ and * don't reassociate with each other; the outer *4 still
+        strength-reduces to a shift."""
         fn = typed_fn("terra f(x : int) : int return (x + 3) * 4 end")
-        assert SimplifyPass().run(fn.typed) is False
-        assert len(binops(fn.typed.body)) == 2
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 2
+        assert sorted(op.op for op in ops) == ["+", "<<"]
 
     def test_float_not_reassociated(self):
         fn = typed_fn(
             "terra f(x : double) : double return (x + 1.0e16) + 1.0 end")
         assert SimplifyPass().run(fn.typed) is False
+
+
+class TestStrengthReduction:
+    def test_signed_multiply_becomes_shift(self):
+        fn = typed_fn("terra f(x : int) : int return x * 8 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].op == "<<" and ops[0].rhs.value == 3
+        for x in (-7, 0, 5, 2**31 - 1, -(2**31)):
+            import repro.backend.interp.values as V
+            from repro.core import types as T
+            expected = V.scalar_binop("*", x, 8, T.int32)
+            assert fn.compile("interp")(x) == expected
+
+    def test_unsigned_divide_becomes_shift(self):
+        fn = typed_fn("terra f(x : uint32) : uint32 return x / 4 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].op == ">>" and ops[0].rhs.value == 2
+        assert fn.compile("interp")(2**32 - 1) == (2**32 - 1) // 4
+
+    def test_unsigned_modulo_becomes_mask(self):
+        fn = typed_fn("terra f(x : uint32) : uint32 return x % 16 end")
+        assert SimplifyPass().run(fn.typed) is True
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].op == "&" and ops[0].rhs.value == 15
+        assert fn.compile("interp")(2**32 - 3) == (2**32 - 3) % 16
+
+    def test_signed_divide_not_reduced(self):
+        """Signed / truncates toward zero; >> rounds toward -inf.  -7/4
+        is -1 but -7>>2 is -2, so the signed form must stay a division."""
+        fn = typed_fn("terra f(x : int) : int return x / 4 end")
+        SimplifyPass().run(fn.typed)
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].op == "/"
+        assert fn.compile("interp")(-7) == -1
+
+    def test_signed_modulo_not_reduced(self):
+        fn = typed_fn("terra f(x : int) : int return x % 8 end")
+        SimplifyPass().run(fn.typed)
+        ops = binops(fn.typed.body)
+        assert len(ops) == 1 and ops[0].op == "%"
+        assert fn.compile("interp")(-13) == -5
+
+    def test_non_power_of_two_not_reduced(self):
+        fn = typed_fn("terra f(x : uint32) : uint32 return x * 6 end")
+        assert SimplifyPass().run(fn.typed) is False
+
+    def test_float_multiply_not_reduced(self):
+        fn = typed_fn("terra f(x : double) : double return x * 4.0 end")
+        assert SimplifyPass().run(fn.typed) is False
+
+    @pytest.mark.parametrize("x", [-9, -1, 0, 1, 7, 100, 2**31 - 1])
+    def test_differential_all_reductions(self, x, backend):
+        src = """
+        terra f(x : int, u : uint32) : int
+          return (x * 16) + [int](u / 8) + [int](u % 4)
+        end
+        """
+        raw = typed_fn(src)
+        opt = typed_fn(src)
+        SimplifyPass().run(opt.typed)
+        u = x & 0xFFFFFFFF
+        assert raw.compile(backend)(x, u) == opt.compile(backend)(x, u)
+
+
+class TestFMAContraction:
+    def test_off_by_default(self):
+        fn = typed_fn(
+            "terra f(a : double, b : double, c : double) : double "
+            "return a * b + c end")
+        assert SimplifyPass().run(fn.typed) is False
+        assert not any(isinstance(n, tast.TIntrinsic)
+                       for n in tast.walk(fn.typed.body))
+
+    def test_contracts_when_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TERRA_FMA", "1")
+        fn = typed_fn(
+            "terra f(a : double, b : double, c : double) : double "
+            "return a * b + c end")
+        assert SimplifyPass().run(fn.typed) is True
+        intrinsics = [n for n in tast.walk(fn.typed.body)
+                      if isinstance(n, tast.TIntrinsic)]
+        assert len(intrinsics) == 1 and intrinsics[0].name == "fma"
+
+    def test_single_rounding_matches_c(self, monkeypatch, backend):
+        """Contracted fma must agree bitwise between interp (libm fma via
+        ctypes) and C (__builtin_fma)."""
+        monkeypatch.setenv("REPRO_TERRA_FMA", "1")
+        fn = terra(
+            "terra f(a : double, b : double, c : double) : double "
+            "return a * b + c end", env={})
+        a = 1.0 + 2.0 ** -52
+        got = fn.compile(backend)(a, a, -1.0)
+        import ctypes
+        import ctypes.util
+        libm = ctypes.CDLL(ctypes.util.find_library("m") or "libm.so.6")
+        libm.fma.restype = ctypes.c_double
+        libm.fma.argtypes = [ctypes.c_double] * 3
+        assert got == libm.fma(a, a, -1.0)
+
+
+class TestFloatExpressionTreesPinned:
+    """Float expression trees must survive every pipeline level bit-for-bit:
+    no float identity, reassociation, or strength reduction may fire."""
+
+    SRC = """
+    terra f(x : double, y : double) : double
+      var a = (x + 1.0e16) + 1.0
+      var b = (y * 2.0) * 4.0
+      var c = (x + 0.0) * 1.0
+      return (a - b) + c
+    end
+    """
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    @pytest.mark.parametrize("x,y", [
+        (1.0, 2.0), (-0.0, 0.0), (1e-300, -1e300),
+        (float("inf"), 1.0), (0.1, 0.2),
+    ])
+    def test_pinned_through_all_levels(self, level, x, y,
+                                       monkeypatch, backend):
+        import math
+        monkeypatch.setenv("REPRO_TERRA_PIPELINE", str(level))
+        got = terra(self.SRC, env={}).compile(backend)(x, y)
+        a = (x + 1.0e16) + 1.0
+        b = (y * 2.0) * 4.0
+        c = (x + 0.0) * 1.0
+        expected = (a - b) + c
+        if math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == expected
+            assert math.copysign(1.0, got) == math.copysign(1.0, expected)
 
 
 class TestSemantics:
