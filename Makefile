@@ -3,7 +3,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke autovec-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve bench-autovec report examples clean
+.PHONY: install test check verify-ir fuzz-smoke autovec-smoke frontend-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve bench-autovec report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
@@ -39,6 +39,14 @@ autovec-smoke:  # the vectorizer gate: unit tests, corpus replay + fixed-seed
 
 bench-autovec:  # auto-vectorizer speedup vs scalar C (writes BENCH_autovec.json)
 	$(PYTHON) -m pytest benchmarks/test_autovec.py -p no:benchmark -q -s
+
+frontend-smoke:  # the @terra frontend gate: parity suite (typed-IR equality,
+	# bit-identical results, byte-identical C), doc snippets, the runnable
+	# example, and the cache-hit/overhead benchmark
+	$(PYTHON) -m pytest tests/frontend -q
+	$(PYTHON) -m pytest tests/examples/test_docs_snippets.py -q
+	$(PYTHON) examples/pyast_frontend.py
+	$(PYTHON) -m pytest benchmarks/test_frontend.py -p no:benchmark -q -s
 
 tier-smoke:  # exec-layer tests, then a traced tiered demo (tier-up + deopt events)
 	$(PYTHON) -m pytest tests/exec -q

@@ -66,6 +66,11 @@ from .core.types import (ArrayType, FunctionType, PointerType, PrimitiveType,
                          uint8, unit, vector)
 from .backend.base import (default_backend, get_backend, resolve_backend,
                            set_default_backend)
+from .frontend.pyast import addr, deref
+
+#: alias for :func:`pointer`, reading naturally in ``@terra`` annotations
+#: (``img: ptr(float)``)
+ptr = pointer
 
 __version__ = "1.0.0"
 
@@ -73,14 +78,14 @@ __all__ = [
     # staging
     "terra", "quote_", "expr", "symbol", "symmat", "macro", "declare",
     "struct", "Quote", "Symbol", "Macro", "TerraFunction", "Specializer",
-    "Environment",
+    "Environment", "addr", "deref",
     # types
     "Type", "PrimitiveType", "PointerType", "ArrayType", "VectorType",
     "StructType", "TupleType", "FunctionType",
     "int8", "int16", "int32", "int64", "uint8", "uint16", "uint32", "uint64",
     "int_", "uint", "long_", "float_", "double", "float32", "float64",
     "bool_", "rawstring", "unit",
-    "pointer", "array", "vector", "functype", "tuple_of",
+    "pointer", "ptr", "array", "vector", "functype", "tuple_of",
     # values
     "global_", "constant", "pycallback", "GlobalVar", "Constant",
     "PyCallback",
@@ -128,17 +133,35 @@ class Namespace(dict):
         raise AttributeError(name)
 
 
-def terra(source: str, env=None, filename: str = "<terra>"):
-    """Define Terra functions and structs from source text.
+def terra(source=None, env=None, filename: str = "<terra>"):
+    """Define Terra functions and structs — from source text or a
+    decorated Python function.
 
-    Specialization runs **eagerly**, in the caller's lexical environment
-    (paper §4.1).  Returns the single defined object, or a
-    :class:`Namespace` when the source contains several definitions.
+    With a **string**, specialization runs **eagerly**, in the caller's
+    lexical environment (paper §4.1).  Returns the single defined
+    object, or a :class:`Namespace` when the source contains several
+    definitions.
+
+    With a **callable**, ``terra`` acts as a decorator: the
+    type-annotated Python function is lowered through
+    :mod:`repro.frontend.pyast` into the same untyped AST and shared
+    specialize→typecheck→compile path (see ``docs/FRONTENDS.md``)::
+
+        @terra
+        def add(a: int32, b: int32) -> int32:
+            return a + b
 
     Defining ``terra f(...)`` when ``f`` already names an *undefined*
     Terra function (from :func:`declare`) fills in that declaration —
     the paper's ``ter``/``tdecl`` split that enables mutual recursion.
     """
+    if callable(source) and not isinstance(source, (str, bytes)):
+        from .frontend.pyast import define_pyfunc
+        return define_pyfunc(source, _environment(env))
+    if not isinstance(source, str):
+        raise TerraSyntaxError(
+            f"terra() takes Terra source text or a Python function to "
+            f"decorate, got {source!r}")
     environment = _environment(env)
     with trace.span("terra", cat="stage", filename=filename) as tsp:
         with trace.span("parse", cat="stage", filename=filename):

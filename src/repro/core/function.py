@@ -32,6 +32,11 @@ class TerraFunction:
 
     is_terra_function = True
 
+    #: which frontend produced the definition — "string" for the
+    #: Lua-Terra parser (the default), "pyast" for the @terra decorator
+    #: (overridden per instance; see docs/FRONTENDS.md)
+    frontend = "string"
+
     UNDEFINED = "undefined"
     DEFINED = "defined"
 
@@ -73,6 +78,9 @@ class TerraFunction:
             raise SpecializeError(
                 f"Terra function {self.name!r} is already defined; "
                 f"definitions are immutable")
+        # every frontend funnels through here — enforce the frontend↔IR
+        # contract (docs/FRONTENDS.md) before accepting the definition
+        sast.validate_definition(param_symbols, param_types, rettype, body)
         self.param_symbols = list(param_symbols)
         self.param_types = list(param_types)
         self.declared_rettype = rettype

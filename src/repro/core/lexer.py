@@ -95,8 +95,12 @@ class Lexer:
 
     # -- bookkeeping --------------------------------------------------------
     def _location(self) -> SourceLocation:
+        line_end = self.source.find("\n", self.line_start)
+        if line_end < 0:
+            line_end = len(self.source)
         return SourceLocation(self.filename, self.line,
-                              self.pos - self.line_start + 1)
+                              self.pos - self.line_start + 1,
+                              self.source[self.line_start:line_end])
 
     def _error(self, message: str) -> TerraSyntaxError:
         return TerraSyntaxError(message, self._location())

@@ -354,6 +354,163 @@ class SDefer(SStat):
         self.call = call
 
 
+# -- the frontend contract ----------------------------------------------------
+#
+# Every frontend (the string parser, the @terra decorator, respec's
+# variant builder) hands TerraFunction.define a specialized definition.
+# ``validate_definition`` checks the structural invariants that the
+# typechecker, passes and backends silently assume — the executable half
+# of docs/FRONTENDS.md.  Violations are frontend bugs, never user errors.
+
+def _contract(cond: bool, message: str, location=None) -> None:
+    if not cond:
+        from ..errors import FrontendContractError
+        raise FrontendContractError(message, location)
+
+
+def validate_definition(param_symbols, param_types, rettype, body) -> None:
+    """Check a ``(param_symbols, param_types, rettype, body)`` definition
+    against the frontend↔IR contract (docs/FRONTENDS.md):
+
+    * parameters are :class:`Symbol` objects paired 1:1 with concrete
+      :class:`~repro.core.types.Type` values, with no duplicate symbols
+      (hygiene: the specializer renames every binder freshly);
+    * ``rettype`` is a Type or None (None = infer during typechecking);
+    * the body is an :class:`SBlock` of fully specialized statements —
+      no leftover escapes, unresolved names or meta values: every leaf
+      is an ``S*`` node, every binder a Symbol, every annotation a Type.
+    """
+    _contract(len(list(param_symbols)) == len(list(param_types)),
+              f"parameter symbols ({len(list(param_symbols))}) and types "
+              f"({len(list(param_types))}) must pair 1:1")
+    seen_ids = set()
+    for sym, ty in zip(param_symbols, param_types):
+        _contract(isinstance(sym, Symbol),
+                  f"parameter {sym!r} is not a Symbol")
+        _contract(isinstance(ty, T.Type),
+                  f"parameter {sym!r} has non-Type annotation {ty!r}")
+        _contract(id(sym) not in seen_ids,
+                  f"parameter symbol {sym!r} appears twice (hygiene "
+                  f"requires fresh symbols per binder)")
+        seen_ids.add(id(sym))
+    _contract(rettype is None or isinstance(rettype, T.Type),
+              f"return annotation {rettype!r} is not a Terra type")
+    _contract(isinstance(body, SBlock),
+              f"function body must be an SBlock, got {type(body).__name__}")
+    _validate_block(body)
+
+
+def _validate_block(block: SBlock) -> None:
+    _contract(isinstance(block, SBlock),
+              f"expected SBlock, got {type(block).__name__}",
+              getattr(block, "location", None))
+    for stat in block.statements:
+        _validate_stat(stat)
+
+
+def _validate_stat(s) -> None:
+    loc = getattr(s, "location", None)
+    _contract(isinstance(s, SStat),
+              f"statement position holds {type(s).__name__}", loc)
+    if isinstance(s, SVarDecl):
+        _contract(len(s.symbols) == len(s.types),
+                  "SVarDecl symbols/types must pair 1:1", loc)
+        for sym, ty in zip(s.symbols, s.types):
+            _contract(isinstance(sym, Symbol),
+                      f"SVarDecl binder {sym!r} is not a Symbol", loc)
+            _contract(ty is None or isinstance(ty, T.Type),
+                      f"SVarDecl annotation {ty!r} is not a Type", loc)
+        if s.inits is not None:
+            for e in s.inits:
+                _validate_expr(e)
+    elif isinstance(s, SAssign):
+        _contract(len(s.lhs) >= 1 and len(s.rhs) >= 1,
+                  "SAssign needs at least one lhs and one rhs", loc)
+        for e in s.lhs + s.rhs:
+            _validate_expr(e)
+    elif isinstance(s, SIf):
+        _contract(len(s.branches) >= 1, "SIf needs at least one branch", loc)
+        for cond, blk in s.branches:
+            _validate_expr(cond)
+            _validate_block(blk)
+        if s.orelse is not None:
+            _validate_block(s.orelse)
+    elif isinstance(s, SWhile):
+        _validate_expr(s.cond)
+        _validate_block(s.body)
+    elif isinstance(s, SRepeat):
+        _validate_block(s.body)
+        _validate_expr(s.cond)
+    elif isinstance(s, SForNum):
+        _contract(isinstance(s.symbol, Symbol),
+                  f"SForNum binder {s.symbol!r} is not a Symbol", loc)
+        _validate_expr(s.start)
+        _validate_expr(s.limit)
+        if s.step is not None:
+            _validate_expr(s.step)
+        _validate_block(s.body)
+    elif isinstance(s, SDoStat):
+        _validate_block(s.body)
+    elif isinstance(s, SReturn):
+        for e in s.exprs:
+            _validate_expr(e)
+    elif isinstance(s, (SExprStat,)):
+        _validate_expr(s.expr)
+    elif isinstance(s, SDefer):
+        _validate_expr(s.call)
+    # SBreak has no children
+
+
+def _validate_expr(e) -> None:
+    loc = getattr(e, "location", None)
+    _contract(isinstance(e, SExpr),
+              f"expression position holds {type(e).__name__} (unresolved "
+              f"meta value or untyped-AST leak?)", loc)
+    if isinstance(e, SVar):
+        _contract(isinstance(e.symbol, Symbol),
+                  f"SVar holds {e.symbol!r}, not a Symbol", loc)
+    elif isinstance(e, SConst):
+        _contract(e.type is None or isinstance(e.type, T.Type),
+                  f"SConst type annotation {e.type!r} is not a Type", loc)
+    elif isinstance(e, (STypeRef, SCast)):
+        _contract(isinstance(e.type, T.Type),
+                  f"{type(e).__name__} requires a Type, got {e.type!r}", loc)
+        if isinstance(e, SCast):
+            _validate_expr(e.expr)
+    elif isinstance(e, SApply):
+        _validate_expr(e.fn)
+        for a in e.args:
+            _validate_expr(a)
+    elif isinstance(e, (SMethodCall, SIntrinsic)):
+        if isinstance(e, SMethodCall):
+            _validate_expr(e.obj)
+        for a in e.args:
+            _validate_expr(a)
+    elif isinstance(e, SSelect):
+        _contract(isinstance(e.field, str),
+                  f"SSelect field {e.field!r} is not resolved to a string",
+                  loc)
+        _validate_expr(e.obj)
+    elif isinstance(e, SIndex):
+        _validate_expr(e.obj)
+        _validate_expr(e.index)
+    elif isinstance(e, SUnOp):
+        _validate_expr(e.operand)
+    elif isinstance(e, SBinOp):
+        _validate_expr(e.lhs)
+        _validate_expr(e.rhs)
+    elif isinstance(e, SCtor):
+        _contract(e.type is None or isinstance(e.type, T.Type),
+                  f"SCtor type {e.type!r} is not a Type", loc)
+        for f in e.fields:
+            _validate_expr(f.value)
+    elif isinstance(e, SLetIn):
+        _validate_block(e.block)
+        for x in e.exprs:
+            _validate_expr(x)
+    # SString / SNull / SGlobal / SFuncRef / SPyCallback are leaves
+
+
 def copy_tree(node):
     """Deep-copy a specialized tree (symbols are shared, nodes are not).
 

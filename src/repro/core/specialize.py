@@ -312,7 +312,12 @@ class Specializer:
             sym = self.lookup_terra(e.name)
             if sym is not None:
                 return sast.SVar(sym, loc)
-            return _Meta(self.env.lookup(e.name))
+            try:
+                return _Meta(self.env.lookup(e.name))
+            except SpecializeError as exc:
+                if exc.location is None:
+                    raise SpecializeError(exc.raw_message, loc) from None
+                raise
         if isinstance(e, ast.Escape):
             # escape results behave like meta values so that e.g.
             # [table].field, [intrinsic](...) and [T](...) work

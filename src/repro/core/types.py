@@ -583,25 +583,32 @@ class OpaqueType(Type):
 
 # -- public constructors (the Lua-side API of Terra) -------------------------
 
+def _as_type(t, constructor: str) -> Type:
+    """Accept a Terra type or one of Python's int/float/bool class
+    objects, which name Terra types throughout (``ptr(float)`` in a
+    ``@terra`` annotation is evaluated by Python itself, so the
+    constructors must coerce exactly like escapes do)."""
+    if isinstance(t, Type):
+        return t
+    coerced = coerce_to_type(t)
+    if coerced is None:
+        raise TypeCheckError(f"{constructor}() expects a Terra type, got {t!r}")
+    return coerced
+
+
 def pointer(t: Type) -> PointerType:
     """``&t``: construct a pointer type."""
-    if not isinstance(t, Type):
-        raise TypeCheckError(f"pointer() expects a Terra type, got {t!r}")
-    return PointerType(t)
+    return PointerType(_as_type(t, "pointer"))
 
 
 def array(t: Type, n: int) -> ArrayType:
     """``t[n]``: construct a fixed-size array type."""
-    if not isinstance(t, Type):
-        raise TypeCheckError(f"array() expects a Terra type, got {t!r}")
-    return ArrayType(t, int(n))
+    return ArrayType(_as_type(t, "array"), int(n))
 
 
 def vector(t: Type, n: int) -> VectorType:
     """``vector(t, n)``: construct a SIMD vector type."""
-    if not isinstance(t, Type):
-        raise TypeCheckError(f"vector() expects a Terra type, got {t!r}")
-    return VectorType(t, int(n))
+    return VectorType(_as_type(t, "vector"), int(n))
 
 
 def functype(parameters: Iterable[Type], returns: Iterable[Type] | Type,

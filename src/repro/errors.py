@@ -22,8 +22,12 @@ class TerraError(Exception):
 
     def __init__(self, message: str, location: "SourceLocation | None" = None):
         self.location = location
+        self.raw_message = message  # pre-formatting, for re-raising with a location
         if location is not None:
             message = f"{location}: {message}"
+            caret = location.caret_block()
+            if caret is not None:
+                message = f"{message}\n{caret}"
         super().__init__(message)
 
 
@@ -41,6 +45,14 @@ class SpecializeError(TerraError):
 
 class TypeCheckError(TerraError):
     """Lazy typechecking of a Terra function failed."""
+
+
+class FrontendContractError(TerraError):
+    """A frontend handed ``TerraFunction.define`` a definition that
+    violates the frontend↔IR contract (``docs/FRONTENDS.md``) — e.g. a
+    non-Symbol binder, a non-Type annotation, or an untyped-AST node
+    left in the specialized tree.  Always a frontend bug, never a user
+    error; enforced by :func:`repro.core.sast.validate_definition`."""
 
 
 class LinkError(TerraError):
@@ -68,14 +80,33 @@ class FFIError(TerraError):
 
 
 class SourceLocation:
-    """A point in Terra source text, carried on AST nodes and errors."""
+    """A point in Terra source text, carried on AST nodes and errors.
 
-    __slots__ = ("filename", "line", "column")
+    ``line_text`` — the raw source line containing the location — is
+    optional context used only for error rendering (the ``^`` caret
+    block); both frontends fill it in, and it is deliberately excluded
+    from equality and hashing so that locations with and without the
+    snippet still compare equal.
+    """
 
-    def __init__(self, filename: str, line: int, column: int):
+    __slots__ = ("filename", "line", "column", "line_text")
+
+    def __init__(self, filename: str, line: int, column: int,
+                 line_text: "str | None" = None):
         self.filename = filename
         self.line = line
         self.column = column
+        self.line_text = line_text
+
+    def caret_block(self) -> "str | None":
+        """A two-line ``source / ^`` rendering, or None without a snippet."""
+        if not self.line_text:
+            return None
+        text = self.line_text.rstrip("\n")
+        if not text.strip():
+            return None
+        caret = " " * (max(self.column, 1) - 1) + "^"
+        return f"  {text}\n  {caret}"
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column}"

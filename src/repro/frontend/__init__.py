@@ -1,0 +1,22 @@
+"""Frontends: surface syntaxes that lower onto the shared Terra core.
+
+Two frontends ship with the reproduction:
+
+* the **string frontend** (``terra("terra f(...) ... end")``) — the
+  paper-faithful Lua-Terra syntax, lexed and parsed by
+  :mod:`repro.core.lexer` / :mod:`repro.core.parser`;
+* the **decorator frontend** (``@terra`` on a type-annotated Python
+  function) — implemented here in :mod:`repro.frontend.pyast` on top of
+  Python's own :mod:`ast` module.
+
+Both produce untyped :mod:`repro.core.ast` trees and flow through one
+shared path: eager specialization, lazy typechecking, the pass pipeline,
+both backends and the tiered dispatcher.  The contract a frontend must
+satisfy is documented in ``docs/FRONTENDS.md`` and enforced by
+:func:`repro.core.sast.validate_definition` at
+:meth:`repro.core.function.TerraFunction.define` time.
+"""
+
+from .pyast import addr, define_pyfunc, deref
+
+__all__ = ["define_pyfunc", "addr", "deref"]

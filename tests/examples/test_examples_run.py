@@ -12,6 +12,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
 #: example -> small-size argv (keep the suite fast)
 CASES = {
     "quickstart.py": [],
+    "pyast_frontend.py": [],
     "terra_core_semantics.py": [],
     "class_system.py": [],
     "mandelbrot.py": ["96"],

@@ -1,0 +1,135 @@
+"""Error reporting from both frontends: original source locations and
+the caret rendering (the PR's small-fix satellite).
+
+The contract (docs/FRONTENDS.md): every error must carry a
+SourceLocation pointing into the *user's* source — the Terra string for
+the string frontend, the Python file for the decorator — and
+``TerraError`` renders a two-line ``source / ^`` caret block whenever
+the location knows its line text.
+"""
+
+import pytest
+
+from repro import int32, terra
+from repro.errors import (SpecializeError, TerraSyntaxError, TypeCheckError)
+
+
+# -- string frontend -----------------------------------------------------------
+
+def test_string_syntax_error_has_caret():
+    src = """
+terra f(x : int) : int
+  return x +
+end
+"""
+    with pytest.raises(TerraSyntaxError) as err:
+        terra(src, env={})
+    message = str(err.value)
+    assert "<terra>:" in message
+    assert "\n" in message and "^" in message
+    # the caret block quotes the line the lexer stopped on (the dangling
+    # `+` makes `end` the unexpected token) and points into it
+    lines = message.splitlines()
+    assert any(line.strip() == "^" for line in lines)
+    assert any(line.strip() == "end" for line in lines)
+
+
+def test_string_error_line_numbers_are_real():
+    with pytest.raises(TerraSyntaxError) as err:
+        terra("terra f( : int) : int return 0 end", env={})
+    assert err.value.location is not None
+    assert err.value.location.line == 1
+
+
+# -- decorator frontend --------------------------------------------------------
+
+def test_decorator_unsupported_statement_points_at_python_line():
+    with pytest.raises(TerraSyntaxError) as err:
+        @terra
+        def bad(x: int32) -> int32:
+            while x > 0:
+                x = x - 1
+            else:               # for/while else: not Terra
+                x = 99
+            return x
+
+    loc = err.value.location
+    assert loc is not None
+    assert loc.filename.endswith("test_errors.py")
+    message = str(err.value)
+    assert "while/else" in message
+    assert "^" in message and "while x > 0" in message
+
+
+def test_decorator_missing_annotation():
+    with pytest.raises(TerraSyntaxError, match="needs a Terra type"):
+        @terra
+        def bad(x) -> int32:
+            return x
+
+
+def test_decorator_chained_comparison_rejected_with_caret():
+    with pytest.raises(TerraSyntaxError) as err:
+        @terra
+        def bad(x: int32) -> int32:
+            if 0 < x < 10:
+                return 1
+            return 0
+
+    assert "chained comparisons" in str(err.value)
+    assert "0 < x < 10" in str(err.value)
+
+
+def test_decorator_continue_rejected():
+    with pytest.raises(TerraSyntaxError, match="continue"):
+        @terra
+        def bad(n: int32) -> int32:
+            acc = 0
+            for i in range(n):
+                if i == 3:
+                    continue
+                acc = acc + i
+            return acc
+
+
+def test_decorator_non_range_loop_rejected():
+    with pytest.raises(TerraSyntaxError, match="range"):
+        @terra
+        def bad(n: int32) -> int32:
+            acc = 0
+            for i in [1, 2, 3]:
+                acc = acc + i
+            return acc
+
+
+def test_decorator_specialize_error_keeps_python_location():
+    with pytest.raises(SpecializeError) as err:
+        @terra
+        def bad(x: int32) -> int32:
+            return x + not_defined_anywhere  # noqa: F821
+
+    loc = err.value.location
+    assert loc is not None
+    assert loc.filename.endswith("test_errors.py")
+    assert "not_defined_anywhere" in str(err.value)
+
+
+def test_decorator_type_errors_carry_caret():
+    @terra
+    def bad(p: int32) -> int32:
+        return p[0]
+
+    with pytest.raises(TypeCheckError) as err:
+        bad(1)
+    message = str(err.value)
+    assert "test_errors.py" in message
+    assert "return p[0]" in message and "^" in message
+
+
+def test_locations_compare_ignoring_line_text():
+    from repro.errors import SourceLocation
+    a = SourceLocation("f.t", 3, 7)
+    b = SourceLocation("f.t", 3, 7, "var x = 1")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert b.caret_block() == "  var x = 1\n        ^"

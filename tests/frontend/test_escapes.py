@@ -1,0 +1,100 @@
+"""``{...}`` escapes in the decorator frontend: the §4.1 staging hooks
+mapped onto Python's set-literal syntax, sharing core/quotes.py with the
+string frontend's ``[...]``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import expr, int32, ptr, quote_, symbol, terra
+from repro.errors import SpecializeError, TerraSyntaxError
+
+
+def test_expression_escape_splices_python_constants():
+    scale = 6
+
+    @terra
+    def f(x: int32) -> int32:
+        return x * {scale + 1}
+
+    assert f(3) == 21
+    # eager specialization: later rebinding cannot change the function
+    scale = 100
+    assert f(3) == 21
+
+
+def test_escape_sees_terra_scope_as_quotes():
+    # inside an escape, an in-scope Terra variable appears as a Quote of
+    # its symbol (the SVAR rule); Quote operators stage new IR
+    @terra
+    def f(x: int32) -> int32:
+        return {expr("7", env={}) } + x
+
+    assert f(1) == 8
+
+
+def test_statement_escape_splices_quote_lists():
+    def repeat(q, n):
+        return [q] * n
+
+    step = quote_("[s] = [s] * 2", env={"s": (s := symbol(int32, "s"))})
+
+    @terra
+    def shifted(x: int32) -> int32:
+        {quote_("var [s] = [x0]", env={"s": s, "x0": expr("1", env={})})}
+        {repeat(step, 4)}
+        return x + {s}
+
+    assert shifted(100) == 116
+
+
+def test_escape_resolves_decoration_site_bindings():
+    offsets = {"left": -1, "right": 1}
+
+    @terra
+    def pick(p: ptr(int32), i: int32) -> int32:
+        return p[i + {offsets["right"]}]
+
+    buf = np.array([10, 20, 30], dtype=np.int32)
+    assert pick(buf, 0) == 20
+
+
+def test_quote_helper_idiom_for_terra_locals():
+    # comprehensions inside an escape cannot see eval() locals (a Python
+    # scoping rule, identical for the string frontend) — the documented
+    # idiom is a helper function receiving the Terra variable
+    def accumulate(target, values):
+        return [quote_("[t] = [t] + [v]", env={"t": target, "v": v})
+                for v in values]
+
+    @terra
+    def summed(x: int32) -> int32:
+        acc: int32 = 0
+        {accumulate(acc, [1, 2, 3, 4])}
+        return acc + x
+
+    assert summed(0) == 10
+
+
+def test_malformed_escape_reports_python_location():
+    with pytest.raises(SpecializeError) as err:
+        @terra
+        def bad(x: int32) -> int32:
+            return {undefined_helper()}  # noqa: F821
+
+    assert err.value.location is not None
+    assert err.value.location.filename.endswith("test_escapes.py")
+
+
+def test_multi_element_set_is_rejected():
+    with pytest.raises(TerraSyntaxError, match="one-element set"):
+        @terra
+        def bad(x: int32) -> int32:
+            return {1, 2}
+
+
+def test_escape_value_must_be_a_terra_term():
+    with pytest.raises(SpecializeError, match="not a Terra term"):
+        @terra
+        def bad(x: int32) -> int32:
+            return x + {object()}
