@@ -3,7 +3,7 @@
 PYTHON ?= python3
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test check verify-ir fuzz-smoke autovec-smoke frontend-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve bench-autovec report examples clean
+.PHONY: install test check verify-ir fuzz-smoke autovec-smoke schedule-smoke frontend-smoke tier-smoke trace-demo parallel-smoke serve-smoke bench bench-compile bench-serve bench-autovec bench-schedule report examples clean
 
 TRACE_DEMO_OUT ?= $(or $(TMPDIR),/tmp)/repro-trace-demo.json
 PARALLEL_TRACE_OUT ?= $(or $(TMPDIR),/tmp)/repro-parallel-trace.json
@@ -39,6 +39,17 @@ autovec-smoke:  # the vectorizer gate: unit tests, corpus replay + fixed-seed
 
 bench-autovec:  # auto-vectorizer speedup vs scalar C (writes BENCH_autovec.json)
 	$(PYTHON) -m pytest benchmarks/test_autovec.py -p no:benchmark -q -s
+
+schedule-smoke:  # the tile-schedule gate: directive/lowering/workload tests
+	# (every point bit-identical to naive across backends x levels),
+	# fixed-seed fuzz with the lenient sched configs in the matrix
+	# (verifier on), then the ablation benchmark
+	$(PYTHON) -m pytest tests/schedule -q
+	REPRO_TERRA_VERIFY_IR=1 $(PYTHON) -m repro.fuzz --seed 20260806 --count 300 --schedule
+	$(PYTHON) -m pytest benchmarks/test_schedule.py -p no:benchmark -q -s
+
+bench-schedule:  # tile-schedule ablation sweep (writes BENCH_schedule.json)
+	$(PYTHON) -m pytest benchmarks/test_schedule.py -p no:benchmark -q -s
 
 frontend-smoke:  # the @terra frontend gate: parity suite (typed-IR equality,
 	# bit-identical results, byte-identical C), doc snippets, the runnable

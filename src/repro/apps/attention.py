@@ -1,0 +1,100 @@
+"""FlashAttention-style fused attention — a tile-schedule workload family.
+
+Single-head scaled-dot-product attention ``O = softmax(Q Kᵀ) V`` computed
+in one pass with *online rescaling* (the FlashAttention recurrence): for
+each query row the key loop maintains the running row maximum ``m``, the
+running normalizer ``l``, and the unnormalized output row — every new
+key rescales the accumulated state by ``exp(m_old - m_new)`` — so the
+N×N score matrix is never materialized.
+
+The staged kernel exposes named axes to :mod:`repro.schedule`:
+
+========  =========================================================
+``i``     query rows (``Block`` / ``Unroll`` / ``Parallel``)
+``j``     keys (``Unroll`` — carries the softmax state, no reorder)
+``d``     the q·k dot product (float reduction — **not** vectorizable)
+``dz``    output-row zeroing (``Vectorize``)
+``dv``    the output-row update/rescale (``Vectorize``)
+``dn``    the final 1/l normalization (``Vectorize``)
+========  =========================================================
+
+Every legal point is bit-identical to the naive kernel: Block/Unroll/
+Parallel preserve per-element arithmetic order exactly, and Vectorize on
+the elementwise ``dz``/``dv``/``dn`` axes performs the same scalar
+operations per lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constant, float_, includec, terra
+from ..schedule import Block, Parallel, Schedule, Unroll, Vectorize, apply
+
+mathh = includec("math.h")
+
+#: softmax state starts at an effective -inf row maximum
+_NEG_BIG = -1e30
+
+
+def make_attention(D: int = 64, schedule=None):
+    """Build ``attn(n, q, k, v, o)`` over row-major ``n×D`` float32
+    matrices (``o`` need not be initialized).  ``schedule`` is a
+    :class:`~repro.schedule.Schedule` over the axes in the module
+    docstring; None or an empty schedule is the naive kernel."""
+    fn = terra("""
+    terra attn(n : int64, q : &float, k : &float, v : &float,
+               o : &float) : {}
+      for i = 0, n do
+        var qrow = q + i * D
+        var orow = o + i * D
+        for dz = 0, D do orow[dz] = 0.0f end
+        var m = [negbig]
+        var l = 0.0f
+        for j = 0, n do
+          var krow = k + j * D
+          var s = 0.0f
+          for d = 0, D do s = s + qrow[d] * krow[d] end
+          var mnew = m
+          if s > mnew then mnew = s end
+          var corr = mathh.expf(m - mnew)
+          var p = mathh.expf(s - mnew)
+          var vrow = v + j * D
+          for dv = 0, D do
+            orow[dv] = orow[dv] * corr + p * vrow[dv]
+          end
+          l = l * corr + p
+          m = mnew
+        end
+        var inv = 1.0f / l
+        for dn = 0, D do orow[dn] = orow[dn] * inv end
+      end
+    end
+    """, env=dict(D=D, mathh=mathh, negbig=constant(float_, _NEG_BIG)))
+    if schedule:
+        return apply(fn, schedule)
+    return fn
+
+
+def reference(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """float64 numpy reference (for sanity bounds, not bit-identity)."""
+    s = q.astype(np.float64) @ k.astype(np.float64).T
+    s -= s.max(axis=1, keepdims=True)
+    p = np.exp(s)
+    p /= p.sum(axis=1, keepdims=True)
+    return p @ v.astype(np.float64)
+
+
+def schedule_points(D: int = 64) -> list[Schedule]:
+    """The legal schedule points the differential suite and the ablation
+    benchmark sweep (the naive point is ``Schedule([])``)."""
+    return [
+        Schedule([Block("i", 8)]),
+        Schedule([Unroll("j", 2)]),
+        Schedule([Vectorize("dv", 8)]),
+        Schedule([Vectorize("dz", 8), Vectorize("dv", 8),
+                  Vectorize("dn", 8)]),
+        Schedule([Block("i", 8), Unroll("j", 2), Vectorize("dv", 8),
+                  Vectorize("dn", 8)]),
+        Schedule([Vectorize("dv", 8), Parallel("i")]),
+    ]

@@ -1,0 +1,126 @@
+"""int8 → float32 dequantize-GEMM — a tile-schedule workload family.
+
+Weight-quantized matmul ``C = A · dequant(B)`` with row-major float32
+``A (n×kk)``, int8 ``B (kk×m)``, one float32 ``scale``, and float32
+``C (n×m)`` (caller-zeroed).  The naive kernel is the natural
+triple-loop dot product (the same shape as ``autotune.naive_matmul``):
+
+    for i: for j: for k:  sum += a[i,k] * (scale * float(b[k,j]))
+
+— a scalar float reduction over stride-``m`` int8 loads that neither
+gcc (no reassociation without fast-math) nor our vectorizer (float
+reduction) can vectorize, with ``n·kk·m`` per-access conversions.
+
+Any non-empty schedule restages to the schedulable i→k→j traversal
+(axis ``j`` innermost and unit-stride), which accumulates each element
+in the *same k order* — bit-identical, including the leading ``0 +``
+term.  ``Pack("b", "panel")`` is consumed by this builder (not the
+generic lowering): B is dequantized *once* into a contiguous float32
+scratch panel (``kk·m`` conversions) before the compute loops run; both
+variants round ``scale * float(b)`` to float32 first, so packing never
+changes results either.
+
+Axes of the restaged form: ``i`` rows (Block/Unroll/Parallel), ``k``
+depth (Block/Unroll), ``j`` columns (Vectorize — innermost), and in the
+packed variant ``kp``/``jp`` for the dequant pass (``jp`` vectorizes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import includec, terra
+from ..schedule import (Block, Pack, Parallel, Schedule, Unroll, Vectorize,
+                        apply)
+
+
+def make_dequant_gemm(schedule=None):
+    """Build ``dqgemm(n, m, kk, a, b, scale, c)``; ``schedule`` may
+    contain ``Pack("b", "panel")`` (consumed here) plus any generic
+    directives over the axes in the module docstring."""
+    schedule = schedule or Schedule([])
+    packs, rest = schedule.partition(lambda d: isinstance(d, Pack))
+    for p in packs:
+        if p.operand != "b":
+            raise p._bad("only operand 'b' (the int8 matrix) can be "
+                         "packed in this kernel")
+    if packs:
+        std = includec("stdlib.h")
+        fn = terra("""
+        terra dqgemm(n : int64, m : int64, kk : int64, a : &float,
+                     b : &int8, scale : float, c : &float) : {}
+          var db = [&float](std.malloc(kk * m * sizeof(float)))
+          for kp = 0, kk do
+            var brow = b + kp * m
+            var drow = db + kp * m
+            for jp = 0, m do drow[jp] = scale * [float](brow[jp]) end
+          end
+          for i = 0, n do
+            var crow = c + i * m
+            for k = 0, kk do
+              var aik = a[i * kk + k]
+              var drow = db + k * m
+              for j = 0, m do
+                crow[j] = crow[j] + aik * drow[j]
+              end
+            end
+          end
+          std.free(db)
+        end
+        """, env=dict(std=std))
+    elif schedule:
+        fn = terra("""
+        terra dqgemm(n : int64, m : int64, kk : int64, a : &float,
+                     b : &int8, scale : float, c : &float) : {}
+          for i = 0, n do
+            var crow = c + i * m
+            for k = 0, kk do
+              var aik = a[i * kk + k]
+              var brow = b + k * m
+              for j = 0, m do
+                crow[j] = crow[j] + aik * (scale * [float](brow[j]))
+              end
+            end
+          end
+        end
+        """)
+    else:
+        return terra("""
+        terra dqgemm(n : int64, m : int64, kk : int64, a : &float,
+                     b : &int8, scale : float, c : &float) : {}
+          for i = 0, n do
+            for j = 0, m do
+              var sum = 0.0f
+              for k = 0, kk do
+                sum = sum + a[i * kk + k] * (scale * [float](b[k * m + j]))
+              end
+              c[i * m + j] = sum
+            end
+          end
+        end
+        """)
+    if rest:
+        return apply(fn, rest)
+    return fn
+
+
+def reference(a: np.ndarray, b: np.ndarray, scale: float) -> np.ndarray:
+    """float64 numpy reference (sanity bounds, not bit-identity)."""
+    db = np.float64(np.float32(scale)) * b.astype(np.float64)
+    return a.astype(np.float64) @ db
+
+
+def schedule_points() -> list[Schedule]:
+    return [
+        Schedule([Vectorize("j", 8)]),
+        Schedule([Block("k", 64), Vectorize("j", 8)]),
+        Schedule([Pack("b", "panel")]),
+        Schedule([Pack("b", "panel"), Vectorize("j", 8),
+                  Vectorize("jp", 8)]),
+        Schedule([Pack("b", "panel"), Block("i", 32), Unroll("k", 2),
+                  Vectorize("j", 8), Vectorize("jp", 8)]),
+        # Parallel needs the row loop as the kernel's *final* top-level
+        # statement — true of the naive form (the packed form ends with
+        # the scratch free), so the parallel point rides the naive body
+        Schedule([Vectorize("j", 8), Parallel("i")]),
+    ]

@@ -1,0 +1,75 @@
+"""Multi-stream inclusive scan — a tile-schedule workload family.
+
+``R`` interleaved float32 streams, ``n`` time steps, time-major layout
+``x[i*R + r]``: each stream's inclusive prefix sum
+``out[i,r] = x[0,r] + ... + x[i,r]``.
+
+The naive kernel is the classic per-stream loop — streams outer, time
+inner — whose inner loop is a loop-carried float accumulation over
+stride-``R`` accesses: neither our vectorizer nor gcc can vectorize it.
+Any non-empty schedule stages the *time-major* traversal instead — time
+outer, streams inner — where the stream axis ``r`` is unit-stride and
+independent, so it blocks, unrolls, and vectorizes:
+
+    for i:  cur[r] = prev[r] + xi[r]   for every r   (axis "r" innermost)
+
+Per element the adds are the same chain in the same order in both
+traversals (stream ``r``'s sum never mixes with another stream's), so
+every schedule point is bit-identical to the naive kernel.  Axes:
+``i`` time (Block), ``r`` streams (Unroll/Vectorize), ``r0`` the first
+time step (Vectorize).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import terra
+from ..schedule import Block, Schedule, Unroll, Vectorize, apply
+
+
+def make_scan(R: int = 64, schedule=None):
+    """Build ``scan(n, x, out)`` over ``n×R`` time-major float32 arrays
+    (``n >= 1``; ``out`` need not be initialized)."""
+    if not schedule:
+        return terra("""
+        terra scan(n : int64, x : &float, out : &float) : {}
+          if n < 1 then return end
+          for r = 0, R do
+            var acc = x[r]
+            out[r] = acc
+            for i = 1, n do
+              acc = acc + x[i * R + r]
+              out[i * R + r] = acc
+            end
+          end
+        end
+        """, env=dict(R=R))
+    fn = terra("""
+    terra scan(n : int64, x : &float, out : &float) : {}
+      if n < 1 then return end
+      for r0 = 0, R do out[r0] = x[r0] end
+      for i = 1, n do
+        var prev = out + (i - 1) * R
+        var cur = out + i * R
+        var xi = x + i * R
+        for r = 0, R do cur[r] = prev[r] + xi[r] end
+      end
+    end
+    """, env=dict(R=R))
+    return apply(fn, schedule)
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    """float64 numpy reference over the ``(n, R)`` view."""
+    return np.cumsum(x.astype(np.float64), axis=0)
+
+
+def schedule_points(R: int = 64) -> list[Schedule]:
+    return [
+        Schedule([Unroll("r", 4)]),
+        Schedule([Vectorize("r", 8)]),
+        Schedule([Vectorize("r0", 8), Vectorize("r", 8)]),
+        Schedule([Block("i", 256), Vectorize("r", 8)]),
+        Schedule([Block("r", 16)]),
+    ]

@@ -37,7 +37,12 @@ def _start_compile(gemm, fma: bool, async_compile: bool) -> None:
 def make_gemm(NB: int, RM: int, RN: int, V: int, elem: T.Type = double,
               use_prefetch: bool = True, fma: bool = True,
               async_compile: bool = False):
-    """Build ``gemm(C, A, B, N)`` (N must be a multiple of NB).
+    """Build ``gemm(C, A, B, N)`` for any N.
+
+    The blocked interior covers the largest multiple of NB; the k tail
+    and the bottom/right edges run as naive loops (the same remainder
+    structure as :func:`make_gemm_packed` — an earlier version assumed
+    NB | N and read and wrote past the matrices otherwise).
 
     ``fma=True`` compiles the kernel with fused multiply-add contraction
     (what a hand-tuned BLAS uses on FMA hardware); pass False for strict
@@ -49,16 +54,44 @@ def make_gemm(NB: int, RM: int, RN: int, V: int, elem: T.Type = double,
     l1_accum = genkernel(NB, RM, RN, V, 1.0, elem, use_prefetch)
     gemm = terra("""
     terra gemm(C : &elem, A : &elem, B : &elem, N : int64) : {}
-      for mb = 0, N, NB do
-        for nb = 0, N, NB do
+      var N0 = (N / NB) * NB     -- the blocked interior; edges go naive
+      for mb = 0, N0, NB do
+        for nb = 0, N0, NB do
           l1_first(A + mb*N, B + nb, C + mb*N + nb, N, N, N)
-          for kb = NB, N, NB do
+          for kb = NB, N0, NB do
             l1_accum(A + mb*N + kb, B + kb*N + nb, C + mb*N + nb, N, N, N)
           end
         end
       end
+      if N0 == N then return end
+      -- k tail for the blocked interior
+      for i = 0, N0 do
+        for k = N0, N do
+          var aik = A[i * N + k]
+          for j = 0, N0 do
+            C[i * N + j] = C[i * N + j] + aik * B[k * N + j]
+          end
+        end
+      end
+      -- bottom edge rows (full k)
+      for i = N0, N do
+        for j = 0, N do
+          var sum = [zeroconst]
+          for k = 0, N do sum = sum + A[i * N + k] * B[k * N + j] end
+          C[i * N + j] = sum
+        end
+      end
+      -- right edge columns above the bottom edge (full k)
+      for i = 0, N0 do
+        for j = N0, N do
+          var sum = [zeroconst]
+          for k = 0, N do sum = sum + A[i * N + k] * B[k * N + j] end
+          C[i * N + j] = sum
+        end
+      end
     end
-    """, env=dict(elem=elem, NB=NB, l1_first=l1_first, l1_accum=l1_accum))
+    """, env=dict(elem=elem, NB=NB, l1_first=l1_first, l1_accum=l1_accum,
+                  zeroconst=_zero(elem)))
     _start_compile(gemm, fma, async_compile)
     return gemm
 
@@ -243,19 +276,114 @@ def make_gemm_packed_parallel(NB: int, RM: int, RN: int, V: int,
     return gemm
 
 
+def make_gemm_from_schedule(schedule, elem: T.Type = double,
+                            use_prefetch: bool = True, fma: bool = True,
+                            async_compile: bool = False):
+    """Build a staged GEMM from a :class:`repro.schedule.Schedule`.
+
+    The schedule *describes* the candidate; the kernel is still staged
+    by the proven makers above, so a schedule and its (NB, RM, RN, V)
+    tuple produce byte-identical C.  Directive mapping:
+
+    ==========================  ===========================================
+    ``Tile(("i","j"),(NB,NB))`` the square L1 cache block (required)
+    ``Vectorize("j", V)``       vector width of the micro-kernel (required)
+    ``Unroll("i", RM)``         register-block rows (default 1)
+    ``Unroll("jj", RN)``        register-block *column vectors* (default 1;
+                                ``jj`` is the vector-column axis inside a
+                                j-tile — distinct from the lane axis ``j``)
+    ``Pack("a"/"b","panel")``   ATLAS-style panel packing (both or neither)
+    ``Parallel("i_o", NT)``     row-panel thread dispatch (implies packing;
+                                ``i_o`` is the outer chunk loop the Tile
+                                creates — the generic lowering's name for it)
+    ==========================  ===========================================
+
+    Anything else — or a directive violating the micro-kernel's
+    divisibility constraints — raises :class:`ScheduleError` naming it.
+    """
+    from ..schedule import (Pack, Parallel, Schedule, ScheduleError, Tile,
+                            Unroll, Vectorize)
+    if not isinstance(schedule, Schedule):
+        raise ScheduleError(
+            f"make_gemm_from_schedule needs a Schedule, got {schedule!r}")
+    tiles = schedule.of_kind(Tile)
+    if len(tiles) != 1 or tiles[0].axes != ("i", "j"):
+        raise ScheduleError(
+            f"{schedule.key()}: GEMM schedules need exactly one "
+            f"Tile(('i', 'j'), (NB, NB))")
+    tile = tiles[0]
+    if tile.sizes[0] != tile.sizes[1]:
+        raise ScheduleError(f"{tile}: the L1 block must be square")
+    NB = tile.sizes[0]
+    vecs = schedule.of_kind(Vectorize)
+    if len(vecs) != 1 or vecs[0].axis != "j" or vecs[0].width < 2:
+        raise ScheduleError(
+            f"{schedule.key()}: GEMM schedules need exactly one "
+            f"Vectorize('j', V) with an explicit width")
+    V = vecs[0].width
+    RM = RN = 1
+    for u in schedule.of_kind(Unroll):
+        if u.axis == "i":
+            RM = u.factor
+        elif u.axis == "jj":
+            RN = u.factor
+        else:
+            raise ScheduleError(
+                f"{u}: GEMM register blocking unrolls 'i' (rows) or "
+                f"'jj' (column vectors)")
+    pack_ops = {p.operand for p in schedule.packs}
+    if pack_ops and pack_ops != {"a", "b"}:
+        raise ScheduleError(
+            f"{schedule.packs[0]}: GEMM packs panels of both 'a' and "
+            f"'b' or neither")
+    for p in schedule.packs:
+        if p.layout != "panel":
+            raise ScheduleError(f"{p}: GEMM packing is per panel")
+    par = schedule.parallel
+    if par is not None and par.axis != "i_o":
+        raise ScheduleError(
+            f"{par}: GEMM parallelizes the row-panel axis 'i_o' (the "
+            f"outer chunk loop of the Tile)")
+    for d in schedule:
+        if not isinstance(d, (Tile, Vectorize, Unroll, Pack, Parallel)):
+            raise ScheduleError(
+                f"{d}: no GEMM staging for this directive")
+    if NB % RM:
+        raise ScheduleError(
+            f"Unroll('i', {RM}): register rows must divide the "
+            f"{NB}-row L1 block")
+    if NB % (RN * V):
+        raise ScheduleError(
+            f"Unroll('jj', {RN}): RN*V = {RN * V} must divide the "
+            f"{NB}-column L1 block")
+    if par is not None:
+        return make_gemm_packed_parallel(NB, RM, RN, V, elem,
+                                         use_prefetch, fma,
+                                         nthreads=par.nthreads)
+    maker = make_gemm_packed if pack_ops else make_gemm
+    return maker(NB, RM, RN, V, elem, use_prefetch, fma, async_compile)
+
+
 def blocked_matmul(NB: int, elem: T.Type = double):
     """The plain cache-blocked (but unvectorized, non-register-blocked)
-    baseline — the "Blocked" series of paper Figure 6."""
+    baseline — the "Blocked" series of paper Figure 6.  Block edges are
+    clamped, so any N works (not just multiples of NB)."""
     return terra("""
     terra blocked(C : &elem, A : &elem, B : &elem, N : int64) : {}
       for i = 0, N*N do C[i] = [elem0] end
       for mb = 0, N, NB do
+        var mlim = mb + NB
+        if mlim > N then mlim = N end
         for kb = 0, N, NB do
+          var klim = kb + NB
+          if klim > N then klim = N end
           for nb = 0, N, NB do
-            for i = mb, mb + NB do
-              for k = kb, kb + NB do
+            var nlim = nb + NB
+            if nlim > N then nlim = N end
+            for i = mb, mlim do
+              for k = kb, klim do
                 var aik = A[i*N + k]
-                for j = nb, nb + NB do
+                for j = nb, nlim do
                   C[i*N + j] = C[i*N + j] + aik * B[k*N + j]
                 end
               end

@@ -23,7 +23,7 @@ import numpy as np
 from .. import double
 from .. import trace
 from ..core import types as T
-from .matmul import make_gemm, make_gemm_packed
+from .matmul import make_gemm_from_schedule
 
 
 @dataclass
@@ -37,6 +37,23 @@ class Candidate:
     def __str__(self) -> str:
         pf = "+pf" if self.use_prefetch else "-pf"
         return f"NB={self.NB} RM={self.RM} RN={self.RN} V={self.V} {pf}"
+
+    def schedule(self, packed: bool = True):
+        """This candidate as a :class:`repro.schedule.Schedule` — the
+        tuner's search space in the first-class schedule vocabulary
+        (see :func:`repro.autotune.make_gemm_from_schedule` for the
+        directive mapping).  ``candidate.schedule()`` round-trips:
+        staging it produces byte-identical C to the legacy maker."""
+        from ..schedule import Pack, Schedule, Tile, Unroll, Vectorize
+        directives = [Tile(("i", "j"), (self.NB, self.NB)),
+                      Vectorize("j", self.V)]
+        if self.RM > 1:
+            directives.append(Unroll("i", self.RM))
+        if self.RN > 1:
+            directives.append(Unroll("jj", self.RN))
+        if packed:
+            directives += [Pack("a", "panel"), Pack("b", "panel")]
+        return Schedule(directives)
 
 
 @dataclass
@@ -118,25 +135,29 @@ def tune(test_size: int = 512, elem: T.Type = double,
     best: Optional[Candidate] = None
     best_gflops = -1.0
     best_gemm = None
-    maker = make_gemm_packed if packed else make_gemm
-    feasible = [cand for cand in cands if test_size % cand.NB == 0]
+    # every candidate is feasible at any test size: both GEMM makers
+    # handle N % NB != 0 through their edge loops (an earlier version
+    # silently dropped every candidate whose NB did not divide the test
+    # size, which for e.g. test_size=500 was *all* of them)
     # stage every candidate first; with parallel_compile each staged kernel
     # is already building on the pool while the next one is staged (the
     # paper's "JIT-compiles the code" step, made concurrent)
     staged: list[tuple[Candidate, object]] = []
-    with trace.span("tune", cat="tune", candidates=len(feasible),
+    with trace.span("tune", cat="tune", candidates=len(cands),
                     test_size=test_size) as tune_sp:
-        for cand in feasible:
+        for cand in cands:
             with trace.span("tune.stage", cat="tune", candidate=str(cand)):
-                gemm = maker(cand.NB, cand.RM, cand.RN, cand.V, elem,
-                             cand.use_prefetch,
-                             async_compile=parallel_compile)
+                gemm = make_gemm_from_schedule(
+                    cand.schedule(packed), elem, cand.use_prefetch,
+                    async_compile=parallel_compile)
             staged.append((cand, gemm))
         for cand, gemm in staged:
             with trace.span("tune.measure", cat="tune",
                             candidate=str(cand)) as sp:
                 if verify:
-                    n = cand.NB * 2
+                    # deliberately not a multiple of NB, so verification
+                    # exercises the edge/k-tail paths too
+                    n = cand.NB * 2 + 5
                     A = rng.rand(n, n).astype(dtype)
                     B = rng.rand(n, n).astype(dtype)
                     C = np.zeros((n, n), dtype=dtype)
@@ -155,5 +176,5 @@ def tune(test_size: int = 512, elem: T.Type = double,
         if best is not None:
             tune_sp.set(best=str(best), gflops=round(best_gflops, 3))
     if best is None:
-        raise ValueError("no feasible candidate for this test size")
+        raise ValueError("empty candidate list")
     return TuneResult(best, best_gflops, best_gemm, trials)

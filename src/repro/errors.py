@@ -65,6 +65,17 @@ class CompileError(TerraError):
     """The backend failed to translate or build the typed IR."""
 
 
+class ScheduleError(CompileError):
+    """A :mod:`repro.schedule` directive cannot be applied to the kernel
+    it was attached to — an unknown/ambiguous axis, an illegal
+    combination (``Vectorize`` on a non-innermost or non-unit-stride
+    axis, ``Parallel`` on a loop that is not the final top-level loop),
+    or a ``Pack`` reaching the generic lowering pass.  The message names
+    the offending directive; raised at schedule construction or at
+    compile time (when the typed IR is first available), never after
+    wrong code has been emitted."""
+
+
 class IRVerifyError(CompileError):
     """The typed-IR verifier found a broken invariant (a compiler bug:
     either the typechecker produced a malformed tree or an optimization

@@ -4,6 +4,7 @@
     python -m repro.fuzz --count 50 --backends c --levels 1,2
     python -m repro.fuzz --count 100 --tiered
     python -m repro.fuzz --count 300 --autovec
+    python -m repro.fuzz --count 200 --schedule
     python -m repro.fuzz --replay tests/fuzz/corpus --tiered
     python -m repro.fuzz --count 200 --minimize --save findings/
 
@@ -31,13 +32,13 @@ from .runner import (DEFAULT_CONFIGS, DEFAULT_TIMEOUT, executions_diverge,
 
 
 def _parse_configs(backends: str, levels: str, tiered: bool,
-                   autovec: bool = False) -> list:
+                   autovec: bool = False, schedule: bool = False) -> list:
     bs = [b.strip() for b in backends.split(",") if b.strip()]
     if tiered and "tiered" not in bs:
         bs.append("tiered")
     lvls = [int(l) for l in levels.split(",") if l.strip()]
     for b in bs:
-        if b not in ("interp", "c", "tiered"):
+        if b not in ("interp", "c", "tiered", "sched"):
             raise SystemExit(f"unknown backend {b!r}")
     for lv in lvls:
         if lv not in (0, 1, 2, 3):
@@ -48,6 +49,14 @@ def _parse_configs(backends: str, levels: str, tiered: bool,
         # level, on top of whatever the caller selected, so vectorized
         # executions are compared bitwise against every scalar config
         for cfg in [("interp", 3), ("c", 3)]:
+            if cfg not in configs:
+                configs.append(cfg)
+    if schedule:
+        # the tile-schedule matrix: C with the lenient fuzz schedule
+        # applied, at a scalar and the vectorizing level, compared
+        # bitwise against every unscheduled config
+        from .runner import SCHEDULE_CONFIGS
+        for cfg in SCHEDULE_CONFIGS:
             if cfg not in configs:
                 configs.append(cfg)
     return configs
@@ -72,6 +81,11 @@ def main(argv=None) -> int:
                         help="also run interp and c at level 3 (the "
                              "auto-vectorizing pipeline), compared "
                              "bitwise against the scalar configs")
+    parser.add_argument("--schedule", action="store_true",
+                        help="also run c with the lenient fuzz tile "
+                             "schedule applied (repro.schedule), "
+                             "compared bitwise against the "
+                             "unscheduled configs")
     parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT,
                         help="per-program watchdog seconds")
     parser.add_argument("--minimize", action="store_true",
@@ -91,7 +105,7 @@ def main(argv=None) -> int:
         return 0
 
     configs = _parse_configs(opts.backends, opts.levels, opts.tiered,
-                             opts.autovec)
+                             opts.autovec, opts.schedule)
 
     if opts.replay:
         failures = 0

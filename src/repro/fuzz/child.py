@@ -35,6 +35,15 @@ the profiled constants — *in the middle of the argset loop*.  The
 differential contract is unchanged (bitwise result equality against the
 plain configs), so this config fuzzes exactly the tier-transition and
 guard-fallback seams that no single backend exercises.
+
+``--backend sched`` runs the C backend with the deterministic *lenient*
+tile schedule (:func:`repro.schedule.fuzz_schedule`) applied to every
+program before compilation: every loop named ``i``/``i1``/``i2``/``i3``
+is blocked by a deliberately non-dividing size, and loops the lowering
+cannot prove safe are silently skipped.  Blocking is order-preserving,
+so the differential contract stays bitwise equality against every
+unscheduled config — this is how the schedule lowering's clamp and
+splice paths get fuzzed against arbitrary generated programs.
 """
 
 from __future__ import annotations
@@ -122,6 +131,10 @@ def _run_program(source: str, entry: str, argsets, backend_name: str):
             # like the plain configs, not a per-argset "error"
             fn.dispatcher.compiled_handle("interp")
             handle = fn
+        elif backend_name == "sched":
+            from repro.schedule import apply, fuzz_schedule
+            apply(fn, fuzz_schedule())
+            handle = fn.compile(get_backend("c"))
         else:
             handle = fn.compile(get_backend(backend_name))
     except Exception as exc:  # compile-time failure: a finding in itself
@@ -145,7 +158,7 @@ def _emit(obj) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.fuzz.child")
     parser.add_argument("--backend", required=True,
-                        choices=["interp", "c", "tiered"])
+                        choices=["interp", "c", "tiered", "sched"])
     parser.add_argument("--level", required=True, type=int,
                         choices=[0, 1, 2, 3])
     parser.add_argument("--seed", type=int, default=0)

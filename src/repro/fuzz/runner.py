@@ -51,6 +51,15 @@ TIERED_CONFIGS = [("tiered", 0), ("tiered", 1), ("tiered", 2)]
 #: ``--autovec`` / these consts.
 AUTOVEC_CONFIGS = [("interp", 3), ("c", 3)]
 
+#: ride-along configurations for the tile-schedule lowering: the C
+#: backend with the deterministic lenient :func:`repro.schedule
+#: .fuzz_schedule` applied to every generated program (loops named
+#: ``i``/``i1``/... blocked by a non-dividing size; unprovable loops
+#: skipped), at a scalar and the vectorizing level.  Blocking is
+#: order-preserving, so scheduled executions must agree bitwise with
+#: every unscheduled config.  Opt-in via ``--schedule`` / these consts.
+SCHEDULE_CONFIGS = [("sched", 1), ("sched", 3)]
+
 #: seconds a child may spend on one program before the watchdog kills it
 DEFAULT_TIMEOUT = 60.0
 

@@ -27,30 +27,42 @@ def blockedloop(N, blocksizes, bodyfn) -> Quote:
     """
     from .. import quote_
 
-    def generatelevel(n, ii, jj, bb):
+    def generatelevel(n, ii, jj, ilimit, jlimit, bb):
         if n > len(blocksizes):
             return bodyfn(ii, jj)
         blocksize = blocksizes[n - 1]
         i = symbol(None, f"i{n}")
         j = symbol(None, f"j{n}")
-        inner = generatelevel(n + 1, i, j, blocksize)
+        # Each level clamps against its *parent block's* clamped limit,
+        # not the global N: with non-divisor chains (say [6, 4, 1]) a
+        # size-4 sub-block starting at 4 must stop at the size-6 block
+        # edge 6, not run to min(4+4, N) and double-visit 6..7 (which
+        # the next size-6 block covers again).  The limits are hoisted
+        # into locals so they can be threaded down the recursion.
+        ilim = symbol(None, f"ilim{n}")
+        jlim = symbol(None, f"jlim{n}")
+        inner = generatelevel(n + 1, i, j, ilim, jlim, blocksize)
         return quote_(
             """
-            for [i] = [ii], [_min_q(ii, bb, N)], [blocksize] do
-              for [j] = [jj], [_min_q(jj, bb, N)], [blocksize] do
+            var [ilim] = [ii] + [bb]
+            if [ilim] > [ilimit] then [ilim] = [ilimit] end
+            var [jlim] = [jj] + [bb]
+            if [jlim] > [jlimit] then [jlim] = [jlimit] end
+            for [i] = [ii], [ilim], [blocksize] do
+              for [j] = [jj], [jlim], [blocksize] do
                 [inner]
               end
             end
             """,
             env={
                 "i": i, "j": j, "ii": ii, "jj": jj,
+                "ilim": ilim, "jlim": jlim,
+                "ilimit": ilimit, "jlimit": jlimit,
                 "blocksize": blocksize, "inner": inner,
-                "_min_q": lambda base, extent, limit:
-                    _min_quote(base, extent, limit),
-                "bb": bb, "N": N,
+                "bb": bb,
             })
 
-    return generatelevel(1, 0, 0, N)
+    return generatelevel(1, 0, 0, N, N, N)
 
 
 def parallel_blockedloop(kernel, N, *args, blocksizes=None,
@@ -67,17 +79,3 @@ def parallel_blockedloop(kernel, N, *args, blocksizes=None,
     from ..parallel import parallel_for
     grain = blocksizes[0] if blocksizes else 1
     parallel_for(kernel, 0, N, *args, nthreads=nthreads, grain=grain)
-
-
-def _min_quote(base, extent, limit) -> Quote:
-    """The quote ``min(base+extent, limit)`` without needing a Terra min
-    function: emitted as an inline conditional via a statements-quote."""
-    from .. import quote_
-    out = symbol(None, "lim")
-    return quote_(
-        """
-        var [out] = [base] + [extent]
-        if [out] > [limit] then [out] = [limit] end
-        in [out]
-        """,
-        env={"out": out, "base": base, "extent": extent, "limit": limit})

@@ -272,27 +272,84 @@ def _resolve_parallel(parallel) -> int:
     return default_nthreads(int(parallel))
 
 
+def _merge_tile_schedule(tile_schedule, vectorize, parallel):
+    """Normalize loop-level directives onto one vocabulary.
+
+    Orion's loop directives are sugar for :mod:`repro.schedule` objects:
+    ``Vectorize("x", V)`` is the scanline vector width (``vectorize=V``)
+    and ``Parallel("y", NT)`` the worker-strip split (``parallel=NT``).
+    Returns ``(vectorize, parallel, tile_schedule)`` with the schedule
+    synthesized from legacy arguments when none was passed — so every
+    compile records its loop directives as one inspectable Schedule
+    (``CompiledStencil.tile_schedule``)."""
+    from ..schedule import Parallel, Schedule, ScheduleError, Vectorize
+    if tile_schedule is None:
+        directives = []
+        if vectorize:
+            directives.append(Vectorize("x", int(vectorize)))
+        nt = _resolve_parallel(parallel)
+        if nt > 1:
+            directives.append(Parallel("y", nt))
+        return vectorize, parallel, Schedule(directives)
+    if not isinstance(tile_schedule, Schedule):
+        raise ScheduleError(
+            f"tile_schedule must be a repro.schedule.Schedule, "
+            f"got {tile_schedule!r}")
+    if vectorize or parallel is not None:
+        raise ScheduleError(
+            f"{tile_schedule.key()}: pass loop directives either as "
+            f"tile_schedule or as legacy vectorize=/parallel= — not both")
+    for d in tile_schedule:
+        if isinstance(d, Vectorize):
+            if d.axis != "x":
+                raise ScheduleError(
+                    f"{d}: Orion vectorizes the scanline axis 'x'")
+            vectorize = d.width
+        elif isinstance(d, Parallel):
+            if d.axis != "y":
+                raise ScheduleError(
+                    f"{d}: Orion parallelizes the row axis 'y'")
+            parallel = d.nthreads or True
+        else:
+            raise ScheduleError(
+                f"{d}: Orion loop schedules support Vectorize('x', V) "
+                f"and Parallel('y', NT); stage storage policies go in "
+                f"the policy schedule= dict")
+    return vectorize, parallel, tile_schedule
+
+
 def compile_pipeline(output, N: int, vectorize: int | bool = False,
                      schedule: Optional[dict] = None,
                      default_policy: str = lang.MATERIALIZE,
                      parallel=None,
+                     tile_schedule=None,
                      ) -> CompiledStencil:
     """Compile an Orion pipeline to a Terra function for N×N images.
 
     ``output`` may be a single expression/stage or a list of them (a
     multi-output pipeline: one fused function filling several buffers).
-    ``schedule`` maps stages (or stage names) to policies; unlisted
-    stages use their declared ``policy=`` or ``default_policy``.
+    ``schedule`` maps stages (or stage names) to *storage* policies;
+    unlisted stages use their declared ``policy=`` or ``default_policy``.
     ``parallel`` (a :func:`repro.orion.lang.parallel` directive, an int
     worker count, or True) splits the scanline loop into per-worker
     strips dispatched through :mod:`repro.parallel`.
+
+    ``tile_schedule`` is the first-class spelling of the *loop*
+    directives: a :class:`repro.schedule.Schedule` of
+    ``Vectorize("x", V)`` / ``Parallel("y", NT)``, equivalent to (and
+    mutually exclusive with) the legacy ``vectorize=`` / ``parallel=``
+    arguments and producing byte-identical C.  The normalized schedule
+    is recorded on the result as ``stencil.tile_schedule``.
     """
+    vectorize, parallel, tile_schedule = _merge_tile_schedule(
+        tile_schedule, vectorize, parallel)
     nt = _resolve_parallel(parallel)
     with trace.span("orion.compile", cat="orion", N=N,
                     vectorize=int(vectorize) if vectorize else 0,
                     nthreads=nt) as sp:
         stencil = _compile_pipeline(output, N, vectorize, schedule,
                                     default_policy, nt)
+        stencil.tile_schedule = tile_schedule
         sp.set(stages=len(stencil.input_names) + len(stencil.output_names))
         return stencil
 

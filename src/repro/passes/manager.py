@@ -103,7 +103,8 @@ def create_pass(name: str) -> Pass:
 
 def _ensure_registered() -> None:
     """Import the pass modules (each registers itself on import)."""
-    from . import dce, fold, licm, simplify, vectorize, verify  # noqa: F401
+    from . import (dce, fold, licm, simplify, tileschedule,  # noqa: F401
+                   vectorize, verify)
 
 
 # -- env plumbing -----------------------------------------------------------------
@@ -248,6 +249,23 @@ class _LevelView:
         return getattr(self._typed, name)
 
 
+def _ensure_scheduled(typed) -> None:
+    """Lower an attached :mod:`repro.schedule` Schedule exactly once,
+    *before* any level logic touches the tree (pipeline lock held).
+
+    Runs ahead of the first level snapshot so that every pipeline level
+    — including level 0, which runs no passes — sees the scheduled
+    loops, keeping the per-level snapshot machinery and the scheduled
+    rewrite orthogonal.
+    """
+    if getattr(typed, "_sched_lowered", False):
+        return
+    func = getattr(typed, "func", None)
+    if getattr(func, "schedule", None):
+        PassManager(("schedule",)).run(typed)
+    typed._sched_lowered = True
+
+
 def _advance_locked(typed, level: int) -> None:
     """Advance ``typed.body`` in place to ``level`` (pipeline lock held).
 
@@ -278,6 +296,7 @@ def run_pipeline(typed, level: Optional[int] = None) -> bool:
     """
     level = resolve_level(level)
     with typed._pipeline_lock:
+        _ensure_scheduled(typed)
         if typed.pipeline_level >= level:
             return False
         _advance_locked(typed, level)
@@ -297,6 +316,7 @@ def pipelined_body(typed, level: Optional[int] = None):
     """
     level = resolve_level(level)
     with typed._pipeline_lock:
+        _ensure_scheduled(typed)
         if typed.pipeline_level < level:
             _advance_locked(typed, level)
         if typed.pipeline_level == level:

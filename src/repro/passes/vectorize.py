@@ -529,28 +529,37 @@ class _LoopVectorizer:
         return replacement
 
 
+def vectorize_loop(loop: tast.TForNum, addr_taken: set,
+                   width: int = 0) -> tast.TDoStat:
+    """Vectorize one innermost loop, raising :class:`_Bail` on failure.
+
+    ``width=0`` derives the lane count from the widest lane type and
+    ``REPRO_TERRA_VEC_WIDTH``/``REPRO_TERRA_VEC_BYTES``; an explicit
+    width forces it.  No bailout accounting happens here — the pass
+    walker (and :mod:`repro.schedule.lower`, which forwards the bail as
+    a ``ScheduleError``) decide how a failure is reported."""
+    forced = width or _env_vec_width()
+    # trial build: validates the loop and discovers the lane types
+    trial = _LoopVectorizer(loop, forced or 2, addr_taken)
+    trial.qualify()
+    trial.build_body()
+    if not forced:
+        widest = max(ty.sizeof() for ty in trial.lane_types)
+        forced = _env_vec_bytes() // widest
+        if forced < 2:
+            raise _Bail("width")
+    final = _LoopVectorizer(loop, forced, addr_taken)
+    final.qualify()
+    body = final.build_body()
+    return final.rewrite(body)
+
+
 def _try_vectorize(loop: tast.TForNum, addr_taken: set):
-    """The replacement statement for ``loop``, or None (bails counted)."""
-    forced = _env_vec_width()
+    """``(replacement, None)`` on success, ``(None, reason)`` on bail."""
     try:
-        # trial build: validates the loop and discovers the lane types
-        trial = _LoopVectorizer(loop, forced or 2, addr_taken)
-        trial.qualify()
-        trial.build_body()
-        if forced is None:
-            widest = max(ty.sizeof() for ty in trial.lane_types)
-            width = _env_vec_bytes() // widest
-            if width < 2:
-                raise _Bail("width")
-        else:
-            width = forced
-        final = _LoopVectorizer(loop, width, addr_taken)
-        final.qualify()
-        body = final.build_body()
-        return final.rewrite(body)
+        return vectorize_loop(loop, addr_taken), None
     except _Bail as bail:
-        _count_bail(bail.reason)
-        return None
+        return None, bail.reason
 
 
 @register_pass
@@ -562,6 +571,12 @@ class VectorizePass(Pass):
     def run(self, typed) -> bool:
         addr_taken = _addr_taken_symbols(typed.body)
         self.changed = False
+        #: schedule-origin tokens whose bail was already counted this
+        #: run — a Block/Tile/Unroll rewrite clones one source loop into
+        #: several instances sharing an ``_sched_origin``; metrics must
+        #: count one bail per *original* loop (PR 8 semantics) or
+        #: schedules would inflate ``vec.bailouts.*`` incomparably
+        self._bailed_origins: set = set()
         self._walk_block(typed.body, addr_taken)
         return self.changed
 
@@ -570,13 +585,18 @@ class VectorizePass(Pass):
             if isinstance(stat, tast.TForNum) \
                     and not getattr(stat, "_vec_generated", False) \
                     and not _contains_loop(stat.body):
-                replacement = _try_vectorize(stat, addr_taken)
+                replacement, reason = _try_vectorize(stat, addr_taken)
                 if replacement is not None:
                     block.statements[pos] = replacement
                     self.changed = True
                     from ..trace.metrics import registry
                     registry().add("vec.loops")
                     continue
+                origin = getattr(stat, "_sched_origin", None)
+                if origin is None or id(origin) not in self._bailed_origins:
+                    _count_bail(reason)
+                    if origin is not None:
+                        self._bailed_origins.add(id(origin))
             self._walk_children(stat, addr_taken)
 
     def _walk_children(self, node, addr_taken: set) -> None:

@@ -95,6 +95,23 @@ class TestFullGemm:
         gemm(C, A, B, N)
         assert np.allclose(C, A @ B)
 
+    @pytest.mark.parametrize("N", [30, 69, 100])
+    def test_non_divisible_sizes(self, N):
+        # regression: the unpacked GEMM used to march full NB-blocks past
+        # the matrix edge for N % NB != 0 (out-of-bounds reads/writes and
+        # silently wrong results); it now runs a blocked interior plus
+        # naive k-tail/edge loops like the packed driver
+        gemm = make_gemm(NB=32, RM=4, RN=2, V=4)
+        A, B, C = _abc(N, np.float64, seed=N)
+        gemm(C, A, B, N)
+        assert np.allclose(C, A @ B)
+
+    @pytest.mark.parametrize("N", [30, 69])
+    def test_blocked_baseline_non_divisible(self, N):
+        A, B, C = _abc(N, np.float64, seed=N)
+        blocked_matmul(16)(C, A, B, N)
+        assert np.allclose(C, A @ B)
+
     def test_sgemm(self):
         gemm = make_gemm(NB=32, RM=4, RN=2, V=8, elem=float_)
         A, B, C = _abc(64, np.float32)
@@ -136,11 +153,24 @@ class TestTuner:
             assert c.NB % (c.RN * c.V) == 0
             assert c.RM * c.RN + c.RM + c.RN <= 16
 
-    def test_infeasible_size(self):
+    def test_non_divisible_test_size_times_every_candidate(self):
+        # regression: the tuner used to silently drop every candidate
+        # whose NB did not divide the test size (for 100 that was all of
+        # them, raising "no feasible candidate"); the GEMM makers handle
+        # any N via edge loops, so all candidates must be timed
         from repro.autotune.tuner import Candidate, tune
+        cands = [Candidate(32, 2, 1, 4), Candidate(48, 2, 1, 4)]
+        result = tune(test_size=100,  # not a multiple of 32 or 48
+                      candidate_list=cands, repeats=1)
+        assert len(result.trials) == len(cands)
+        A, B, C = _abc(100, np.float64)
+        result.gemm(C, A, B, 100)
+        assert np.allclose(C, A @ B)
+
+    def test_empty_candidate_list_raises(self):
+        from repro.autotune.tuner import tune
         with pytest.raises(ValueError):
-            tune(test_size=100,  # not a multiple of 32
-                 candidate_list=[Candidate(32, 2, 1, 4)], repeats=1)
+            tune(test_size=64, candidate_list=[], repeats=1)
 
 
 class TestPackedGemm:
@@ -178,3 +208,84 @@ class TestPackedGemm:
         C = np.zeros((N, N), dtype=np.float32)
         gemm(C, A, B, N)
         assert np.allclose(C, A @ B, atol=1e-3)
+
+
+class TestScheduleMigration:
+    """The tuner's candidate vocabulary as first-class schedules:
+    ``Candidate.schedule()`` → ``make_gemm_from_schedule`` must produce
+    byte-identical C to the legacy (NB, RM, RN, V) makers."""
+
+    def test_packed_byte_identical(self):
+        from repro.autotune.matmul import (make_gemm_from_schedule,
+                                           make_gemm_packed)
+        from repro.autotune.tuner import Candidate
+        cand = Candidate(32, 4, 2, 4)
+        legacy = make_gemm_packed(32, 4, 2, 4)
+        migrated = make_gemm_from_schedule(cand.schedule(packed=True))
+        assert migrated.get_c_source() == legacy.get_c_source()
+
+    def test_unpacked_byte_identical(self):
+        from repro.autotune.matmul import make_gemm, make_gemm_from_schedule
+        from repro.autotune.tuner import Candidate
+        cand = Candidate(16, 2, 1, 4)
+        legacy = make_gemm(16, 2, 1, 4)
+        migrated = make_gemm_from_schedule(cand.schedule(packed=False))
+        assert migrated.get_c_source() == legacy.get_c_source()
+
+    def test_candidate_schedule_shape(self):
+        from repro.autotune.tuner import Candidate
+        from repro.schedule import Pack, Tile, Unroll, Vectorize
+        s = Candidate(48, 4, 2, 4).schedule()
+        assert s.of_kind(Tile) == [Tile(("i", "j"), (48, 48))]
+        assert s.of_kind(Vectorize) == [Vectorize("j", 4)]
+        assert set(s.of_kind(Unroll)) == {Unroll("i", 4), Unroll("jj", 2)}
+        assert {p.operand for p in s.packs} == {"a", "b"}
+        # RM=RN=1 candidates carry no Unrolls at all
+        assert Candidate(32, 1, 1, 4).schedule(packed=False).of_kind(
+            Unroll) == []
+
+    def test_schedule_correctness_non_divisible(self):
+        from repro.autotune.matmul import make_gemm_from_schedule
+        from repro.autotune.tuner import Candidate
+        gemm = make_gemm_from_schedule(Candidate(32, 2, 2, 4).schedule())
+        A, B, C = _abc(69, np.float64, seed=2)
+        gemm(C, A, B, 69)
+        assert np.allclose(C, A @ B)
+
+    def test_invalid_gemm_schedules_rejected(self):
+        from repro.autotune.matmul import make_gemm_from_schedule
+        from repro.schedule import (Block, Pack, Schedule, ScheduleError,
+                                    Tile, Unroll, Vectorize)
+        base = [Tile(("i", "j"), (32, 32)), Vectorize("j", 4)]
+        with pytest.raises(ScheduleError, match="Tile"):
+            make_gemm_from_schedule(Schedule([Vectorize("j", 4)]))
+        with pytest.raises(ScheduleError, match="square"):
+            make_gemm_from_schedule(
+                Schedule([Tile(("i", "j"), (32, 16)), Vectorize("j", 4)]))
+        with pytest.raises(ScheduleError, match="Vectorize"):
+            make_gemm_from_schedule(Schedule([Tile(("i", "j"), (32, 32))]))
+        with pytest.raises(ScheduleError, match="'jj'"):
+            make_gemm_from_schedule(Schedule(base + [Unroll("k", 2)]))
+        with pytest.raises(ScheduleError, match="divide"):
+            make_gemm_from_schedule(
+                Schedule([Tile(("i", "j"), (32, 32)), Vectorize("j", 4),
+                          Unroll("i", 5)]))
+        with pytest.raises(ScheduleError, match="both"):
+            make_gemm_from_schedule(Schedule(base + [Pack("a", "panel")]))
+        with pytest.raises(ScheduleError, match="no GEMM staging"):
+            make_gemm_from_schedule(Schedule(base + [Block("k", 8)]))
+
+    def test_parallel_schedule_dispatches(self):
+        from repro.autotune.matmul import (make_gemm_from_schedule,
+                                           make_gemm_packed)
+        from repro.autotune.tuner import Candidate
+        from repro.schedule import Parallel, Schedule
+        cand = Candidate(32, 2, 2, 4)
+        s = Schedule(list(cand.schedule()) + [Parallel("i_o")])
+        par = make_gemm_from_schedule(s)
+        N = 70
+        A, B, C = _abc(N, np.float64, seed=3)
+        par(C, A, B, N)
+        C2 = np.zeros_like(C)
+        make_gemm_packed(32, 2, 2, 4)(C2, A, B, N)
+        assert np.array_equal(C, C2)  # bit-identical to serial packed

@@ -20,6 +20,7 @@ DOCS = [
     (os.path.join("docs", "TUTORIAL.md"), 8),
     (os.path.join("docs", "OBSERVABILITY.md"), 3),
     (os.path.join("docs", "FRONTENDS.md"), 2),
+    (os.path.join("docs", "SCHEDULES.md"), 1),
 ]
 
 _FENCE = re.compile(r"```python([^\n]*)\n(.*?)```", re.S)

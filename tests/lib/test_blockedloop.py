@@ -41,6 +41,37 @@ class TestBlockedLoop:
         data = np.random.RandomState(1).rand(N, N)
         assert f(data) == pytest.approx(data.sum(), rel=1e-9)
 
+    @pytest.mark.parametrize("N,blocks", [
+        (12, [6, 4, 1]),   # 4 does not divide 6: sub-block must stop at
+        (10, [6, 4, 1]),   # the parent block edge, not at min(+4, N)
+        (7, [5, 3, 1]),
+        (20, [7, 3, 1]),
+    ])
+    def test_non_divisor_chain_visits_each_cell_once(self, N, blocks):
+        # regression: levels used to clamp against the global N instead
+        # of the enclosing block's clamped limit, double-visiting the
+        # cells between a sub-block edge and its parent block edge
+        f = make_sum(N, blocks)
+        data = np.random.RandomState(N).rand(N, N)
+        assert f(data) == pytest.approx(data.sum(), rel=1e-9)
+
+    def test_non_divisor_chain_exact_visit_counts(self):
+        # count writes per cell: exactly one each, even on edge blocks
+        N = 12
+        out = symbol(None, "out")
+        body = lambda i, j: quote_(  # noqa: E731
+            "[out][[i] * [N] + [j]] = [out][[i] * [N] + [j]] + 1",
+            env=dict(out=out, N=N, i=i, j=j))
+        loop = blockedloop(N, [6, 4, 1], body)
+        f = terra("""
+        terra f([out] : &int) : {}
+          [loop]
+        end
+        """)
+        buf = np.zeros(N * N, dtype=np.int32)
+        f(buf)
+        assert np.array_equal(buf, np.ones(N * N, dtype=np.int32))
+
     def test_body_sees_correct_indices(self):
         N = 8
         out = symbol(None, "out")

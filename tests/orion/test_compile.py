@@ -264,3 +264,64 @@ class TestMultiOutput:
         fused = compile_pipeline([a, b], N, vectorize=4).run(img)
         assert np.allclose(base[0], fused[0], atol=1e-6)
         assert np.allclose(base[1], fused[1], atol=1e-6)
+
+
+class TestTileSchedule:
+    """Orion loop directives as first-class repro.schedule objects.
+
+    ``tile_schedule=Schedule([Vectorize("x", V), Parallel("y", NT)])``
+    must be pure sugar for the legacy ``vectorize=``/``parallel=``
+    arguments: byte-identical C (modulo the per-compile function-name
+    counter) and identical results."""
+
+    @staticmethod
+    def normalize(source):
+        import re
+        return re.sub(r"orionfn\d+", "orionfn", source)
+
+    def blur(self):
+        f = L.image("f")
+        return L.stage((f(-1, 0) + f(0, 0) + f(1, 0)) / 3.0, "blur")
+
+    def test_vectorize_byte_identical(self, img):
+        from repro.schedule import Schedule, Vectorize
+        blur = self.blur()  # one pipeline, compiled under both spellings
+        legacy = compile_pipeline(blur, N, vectorize=4)
+        new = compile_pipeline(
+            blur, N, tile_schedule=Schedule([Vectorize("x", 4)]))
+        assert self.normalize(new.source) == self.normalize(legacy.source)
+        assert np.array_equal(new.run(img), legacy.run(img))
+
+    def test_parallel_byte_identical(self, img):
+        from repro.schedule import Parallel, Schedule, Vectorize
+        blur = self.blur()
+        legacy = compile_pipeline(blur, N, vectorize=4, parallel=2)
+        new = compile_pipeline(
+            blur, N,
+            tile_schedule=Schedule([Vectorize("x", 4), Parallel("y", 2)]))
+        assert self.normalize(new.source) == self.normalize(legacy.source)
+        assert new.parallel_plan is not None
+        assert np.array_equal(new.run(img), legacy.run(img))
+
+    def test_legacy_args_record_a_schedule(self):
+        from repro.schedule import Parallel, Vectorize
+        s = compile_pipeline(self.blur(), N, vectorize=8)
+        assert s.tile_schedule.of_kind(Vectorize) == [Vectorize("x", 8)]
+        assert compile_pipeline(self.blur(), N).tile_schedule.key() \
+            == "naive"
+
+    def test_mixing_spellings_rejected(self):
+        from repro.schedule import Schedule, ScheduleError, Vectorize
+        with pytest.raises(ScheduleError, match="not both"):
+            compile_pipeline(self.blur(), N, vectorize=4,
+                             tile_schedule=Schedule([Vectorize("x", 4)]))
+
+    def test_unsupported_directives_rejected(self):
+        from repro.schedule import Block, Schedule, ScheduleError, \
+            Vectorize
+        with pytest.raises(ScheduleError, match="scanline axis 'x'"):
+            compile_pipeline(self.blur(), N,
+                             tile_schedule=Schedule([Vectorize("y", 4)]))
+        with pytest.raises(ScheduleError, match="Block"):
+            compile_pipeline(self.blur(), N,
+                             tile_schedule=Schedule([Block("x", 8)]))
